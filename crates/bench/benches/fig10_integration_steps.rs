@@ -1,0 +1,96 @@
+//! Figure 10: impact of successively integrating the L2 cache, memory
+//! controller, and coherence controller / network router. Uniprocessor
+//! bars: Base, L2, L2+MC. Multiprocessor bars: Base, L2, L2+MC, All
+//! (plus Conservative Base for the Section 5 "1.56x over a less
+//! aggressive design" claim).
+
+use csim_bench::{
+    configs, exec_chart, finish_figure, meas_refs, meas_refs_mp, normalized_totals, run_sweep,
+    warm_refs, warm_refs_mp, Claim, Sweep,
+};
+
+fn main() {
+    // L2 configuration: Base uses the 8MB 1-way off-chip cache, the
+    // integrated designs a 2MB 8-way on-chip SRAM (paper caption).
+    let uni = vec![
+        Sweep::new("Base", configs::base_off_chip(1, 8, 1)),
+        Sweep::new("L2", configs::l2_sram(1, 2, 8)),
+        Sweep::new("L2+MC", configs::l2_mc(1, 2, 8)),
+    ];
+    let mp = vec![
+        Sweep::new("Base", configs::base_off_chip(8, 8, 1)),
+        Sweep::new("L2", configs::l2_sram(8, 2, 8)),
+        Sweep::new("L2+MC", configs::l2_mc(8, 2, 8)),
+        Sweep::new("All", configs::fully_integrated(8, 8, 8, false, false)),
+        Sweep::new("Cons", configs::conservative(8, 8, 4)),
+    ];
+
+    let uni_results = run_sweep(&uni, warm_refs(), meas_refs());
+    let mp_results = run_sweep(&mp, warm_refs_mp(), meas_refs_mp());
+    let uni_chart = exec_chart("Figure 10 (left): uniprocessor", &uni_results);
+    let mp_chart = exec_chart("Figure 10 (right): 8 processors", &mp_results);
+
+    let eu = normalized_totals(&uni_results, false);
+    let em = normalized_totals(&mp_results, false);
+    let iu = |l: &str| uni.iter().position(|s| s.label == l).expect("label");
+    let im = |l: &str| mp.iter().position(|s| s.label == l).expect("label");
+
+    let uni_l2_gain = eu[iu("Base")] / eu[iu("L2")];
+    let mp_l2_gain = em[im("Base")] / em[im("L2")];
+    let mp_all_gain = em[im("Base")] / em[im("All")];
+    let mp_rest_gain = em[im("L2")] / em[im("All")];
+    let mp_cons_gain = em[im("Cons")] / em[im("All")];
+
+    let claims = vec![
+        Claim::check(
+            "uniprocessor: integrating the L2 buys ~1.4x",
+            (1.3..=1.6).contains(&uni_l2_gain),
+            format!("{uni_l2_gain:.2}x"),
+        ),
+        Claim::check(
+            "uniprocessor: integrating the MC on top has virtually no impact",
+            (eu[iu("L2+MC")] - eu[iu("L2")]).abs() < 3.0,
+            format!("{:.1} vs {:.1}", eu[iu("L2+MC")], eu[iu("L2")]),
+        ),
+        Claim::check(
+            "multiprocessor: full integration buys ~1.43x over Base",
+            (1.3..=1.55).contains(&mp_all_gain),
+            format!("{mp_all_gain:.2}x"),
+        ),
+        Claim::check(
+            "multiprocessor: about half the gain (~1.2x) comes from integrating the L2",
+            (1.1..=1.3).contains(&mp_l2_gain),
+            format!("{mp_l2_gain:.2}x"),
+        ),
+        Claim::check(
+            "multiprocessor: the other half (~1.2x) comes from integrating MC + CC/NR",
+            (1.1..=1.3).contains(&mp_rest_gain),
+            format!("{mp_rest_gain:.2}x"),
+        ),
+        Claim::check(
+            "multiprocessor: L2+MC alone is no better than L2 (separating MC from CC hurts)",
+            em[im("L2+MC")] >= em[im("L2")] - 3.0,
+            format!("{:.1} vs {:.1}", em[im("L2+MC")], em[im("L2")]),
+        ),
+        Claim::check(
+            "gain over the less aggressive Conservative design is ~1.56x",
+            (1.35..=1.8).contains(&mp_cons_gain),
+            format!("{mp_cons_gain:.2}x"),
+        ),
+        Claim::check(
+            "processor utilization for Base multiprocessor OLTP is low (~17%)",
+            {
+                let u = mp_results[im("Base")].1.breakdown.cpu_utilization();
+                (0.07..=0.25).contains(&u)
+            },
+            format!("{:.0}%", 100.0 * mp_results[im("Base")].1.breakdown.cpu_utilization()),
+        ),
+    ];
+
+    finish_figure(
+        "fig10",
+        "successive integration of L2, MC, CC/NR (paper Figure 10)",
+        &[&uni_chart, &mp_chart],
+        &claims,
+    );
+}

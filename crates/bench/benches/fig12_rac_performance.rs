@@ -1,0 +1,66 @@
+//! Figure 12: performance impact of remote access caches with different
+//! L2 sizes — 8 processors, fully integrated design, instruction pages
+//! replicated. The middle comparison accounts for the chip area the
+//! on-chip RAC tags would occupy: a 1.25 MB L2 without a RAC vs a 1 MB L2
+//! with one.
+
+use csim_bench::{
+    configs, exec_chart, finish_figure, meas_refs_mp, normalized_totals, run_sweep, warm_refs_mp,
+    Claim, Sweep,
+};
+
+fn main() {
+    // L2 sizes in quarter-megabytes: 4 = 1 MB, 5 = 1.25 MB, 8 = 2 MB.
+    let sweep = vec![
+        Sweep::new("1M4w-NoRAC", configs::fully_integrated(8, 4, 4, false, true)),
+        Sweep::new("1M4w-RAC", configs::fully_integrated(8, 4, 4, true, true)),
+        Sweep::new("1.25M4w-NoRAC", configs::fully_integrated(8, 5, 4, false, true)),
+        Sweep::new("2M8w-NoRAC", configs::fully_integrated(8, 8, 8, false, true)),
+        Sweep::new("2M8w-RAC", configs::fully_integrated(8, 8, 8, true, true)),
+    ];
+
+    let results = run_sweep(&sweep, warm_refs_mp(), meas_refs_mp());
+    let exec = exec_chart("Figure 12: execution time with remote access caches", &results);
+
+    let e = normalized_totals(&results, false);
+    let idx = |l: &str| sweep.iter().position(|s| s.label == l).expect("label");
+    let rep = |l: &str| &results[idx(l)].1;
+
+    let small_gain = 1.0 - e[idx("1M4w-RAC")] / e[idx("1M4w-NoRAC")];
+    let big_gain = 1.0 - e[idx("2M8w-RAC")] / e[idx("2M8w-NoRAC")];
+
+    let claims = vec![
+        Claim::check(
+            "the overall benefit of the RAC at 1M4w is small (paper: 4.3%)",
+            (0.0..=0.25).contains(&small_gain),
+            format!("{:.1}%", 100.0 * small_gain),
+        ),
+        Claim::check(
+            "larger on-chip L2s (2M8w) make the RAC even less appealing (hit rate < 10%)",
+            rep("2M8w-RAC").rac.hit_rate() < 0.10,
+            format!("{:.1}%", 100.0 * rep("2M8w-RAC").rac.hit_rate()),
+        ),
+        Claim::check(
+            "at 2M8w, performance is almost the same with and without a RAC",
+            big_gain.abs() < 0.05,
+            format!("{:.1}%", 100.0 * big_gain),
+        ),
+        Claim::check(
+            "spending the RAC tag area on a bigger L2 is competitive (1.25M close to or better than 1M+RAC)",
+            e[idx("1.25M4w-NoRAC")] < e[idx("1M4w-NoRAC")],
+            format!(
+                "1.25M {:.1} vs 1M+RAC {:.1} vs 1M {:.1}",
+                e[idx("1.25M4w-NoRAC")],
+                e[idx("1M4w-RAC")],
+                e[idx("1M4w-NoRAC")]
+            ),
+        ),
+    ];
+
+    finish_figure(
+        "fig12",
+        "RAC performance with different L2 sizes (paper Figure 12)",
+        &[&exec],
+        &claims,
+    );
+}

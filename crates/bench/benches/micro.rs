@@ -1,0 +1,101 @@
+//! Criterion microbenchmarks of the simulator's hot paths: cache
+//! accesses, directory protocol transitions, workload reference
+//! generation, and end-to-end simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use csim_cache::Cache;
+use csim_coherence::Directory;
+use csim_config::{CacheGeometry, SystemConfig};
+use csim_core::Simulation;
+use csim_trace::ReferenceStream;
+use csim_workload::{OltpParams, OltpWorkload};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(1));
+    let geom = CacheGeometry::new(2 << 20, 8, 64).unwrap();
+
+    g.bench_function("l2_hit", |b| {
+        let mut cache = Cache::new(geom);
+        cache.insert(42, false);
+        b.iter(|| cache.access(std::hint::black_box(42), false))
+    });
+
+    g.bench_function("l2_miss_insert_evict", |b| {
+        let mut cache = Cache::new(geom);
+        let mut line = 0u64;
+        b.iter(|| {
+            line = line.wrapping_add(4096); // new set each time
+            if cache.access(line, false).is_hit() {
+                return None;
+            }
+            cache.insert(line, false)
+        })
+    });
+    g.finish();
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let mut g = c.benchmark_group("directory");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("read_miss_cold", |b| {
+        b.iter_batched_ref(
+            || Directory::new(8, 64, 8192),
+            |dir| {
+                for line in 0..64u64 {
+                    std::hint::black_box(dir.read_miss(line, (line % 8) as u8));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("migratory_write_write", |b| {
+        let mut dir = Directory::new(8, 64, 8192);
+        let mut node = 0u8;
+        dir.write_miss(7, 0);
+        b.iter(|| {
+            node = (node + 1) % 8;
+            std::hint::black_box(dir.write_miss(7, node))
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("next_ref", |b| {
+        let mut nodes = OltpWorkload::build(OltpParams::default(), 1).unwrap();
+        let stream = &mut nodes[0];
+        b.iter(|| std::hint::black_box(stream.next_ref()))
+    });
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("uniprocessor_10k_refs", |b| {
+        let cfg = SystemConfig::paper_base_uni();
+        let mut sim = Simulation::with_oltp(&cfg, OltpParams::default()).unwrap();
+        sim.warm_up(200_000);
+        b.iter(|| std::hint::black_box(sim.run(10_000)))
+    });
+
+    g.throughput(Throughput::Elements(8 * 10_000));
+    g.bench_function("mp8_10k_refs_per_node", |b| {
+        let cfg = SystemConfig::paper_base_mp8();
+        let mut sim = Simulation::with_oltp(&cfg, OltpParams::default()).unwrap();
+        sim.warm_up(100_000);
+        b.iter(|| std::hint::black_box(sim.run(10_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_directory, bench_workload, bench_simulation);
+criterion_main!(benches);

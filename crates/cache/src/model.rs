@@ -1,0 +1,406 @@
+//! The set-associative cache model.
+
+use csim_config::CacheGeometry;
+
+use crate::stats::CacheStats;
+
+/// Result of a cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The line was present (LRU updated; on a write the line is now
+    /// dirty).
+    Hit,
+    /// The line was absent. The caller services the miss and then calls
+    /// [`Cache::insert`].
+    Miss,
+}
+
+impl Outcome {
+    /// Returns `true` on [`Outcome::Hit`].
+    pub fn is_hit(self) -> bool {
+        matches!(self, Outcome::Hit)
+    }
+}
+
+/// A line pushed out of the cache by [`Cache::insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Evicted {
+    /// Line address of the victim.
+    pub line: u64,
+    /// Whether the victim held modified data (requires a writeback).
+    pub dirty: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+const EMPTY: Slot = Slot { tag: 0, valid: false, dirty: false };
+
+/// A set-associative, write-back, write-allocate cache with true LRU
+/// replacement.
+///
+/// Operates on line addresses. Within each set, slots are kept in MRU→LRU
+/// order; a hit rotates the slot to the front, an insertion evicts the last
+/// slot when the set is full.
+///
+/// The number of sets need not be a power of two (indexing is modulo), so
+/// fractional-megabyte caches such as the 1.25 MB L2 of the paper's Figure
+/// 12 are supported.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    n_sets: usize,
+    assoc: usize,
+    slots: Vec<Slot>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use csim_cache::Cache;
+    /// use csim_config::CacheGeometry;
+    /// let c = Cache::new(CacheGeometry::new(64 << 10, 2, 64)?);
+    /// assert_eq!(c.geometry().sets(), 512);
+    /// # Ok::<(), csim_config::ConfigError>(())
+    /// ```
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let n_sets = geometry.sets() as usize;
+        let assoc = geometry.assoc() as usize;
+        Cache {
+            geometry,
+            n_sets,
+            assoc,
+            slots: vec![EMPTY; n_sets * assoc],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Access statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (e.g. at the end of warmup) without touching
+    /// cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> (usize, usize) {
+        let set = (line % self.n_sets as u64) as usize;
+        let start = set * self.assoc;
+        (start, start + self.assoc)
+    }
+
+    /// Looks a line up and updates LRU state. On a write hit the line
+    /// becomes dirty. On a miss nothing is allocated — service the miss and
+    /// call [`Cache::insert`].
+    pub fn access(&mut self, line: u64, write: bool) -> Outcome {
+        let (start, end) = self.set_range(line);
+        let set = &mut self.slots[start..end];
+        for i in 0..set.len() {
+            if set[i].valid && set[i].tag == line {
+                let mut slot = set[i];
+                if write {
+                    slot.dirty = true;
+                }
+                // Rotate to MRU position.
+                set.copy_within(0..i, 1);
+                set[0] = slot;
+                self.stats.record_hit(write);
+                return Outcome::Hit;
+            }
+        }
+        self.stats.record_miss(write);
+        Outcome::Miss
+    }
+
+    /// Checks for presence without touching LRU state or statistics.
+    pub fn contains(&self, line: u64) -> bool {
+        let (start, end) = self.set_range(line);
+        self.slots[start..end].iter().any(|s| s.valid && s.tag == line)
+    }
+
+    /// Whether the line is present and modified. `false` when absent.
+    pub fn is_dirty(&self, line: u64) -> bool {
+        let (start, end) = self.set_range(line);
+        self.slots[start..end].iter().any(|s| s.valid && s.tag == line && s.dirty)
+    }
+
+    /// Installs a line at the MRU position, evicting the LRU slot if the
+    /// set is full. Returns the victim, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line is already present — the caller
+    /// must only insert after a miss.
+    pub fn insert(&mut self, line: u64, dirty: bool) -> Option<Evicted> {
+        debug_assert!(!self.contains(line), "inserting line {line:#x} that is already cached");
+        let (start, end) = self.set_range(line);
+        let set = &mut self.slots[start..end];
+        // Prefer an invalid slot; otherwise evict LRU (last).
+        let victim_idx = set.iter().position(|s| !s.valid).unwrap_or(set.len() - 1);
+        let victim = set[victim_idx];
+        set.copy_within(0..victim_idx, 1);
+        set[0] = Slot { tag: line, valid: true, dirty };
+        if victim.valid {
+            self.stats.record_eviction(victim.dirty);
+            Some(Evicted { line: victim.tag, dirty: victim.dirty })
+        } else {
+            None
+        }
+    }
+
+    /// Removes a line. Returns `Some(dirty)` when it was present.
+    pub fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let (start, end) = self.set_range(line);
+        let set = &mut self.slots[start..end];
+        for i in 0..set.len() {
+            if set[i].valid && set[i].tag == line {
+                let dirty = set[i].dirty;
+                // Compact: shift later (less recent) slots up, free the LRU end.
+                set.copy_within(i + 1.., i);
+                let last = set.len() - 1;
+                set[last] = EMPTY;
+                self.stats.record_invalidation();
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Clears the dirty bit of a present line (coherence downgrade M→S).
+    /// Returns `true` when the line was present.
+    pub fn clean(&mut self, line: u64) -> bool {
+        let (start, end) = self.set_range(line);
+        for s in &mut self.slots[start..end] {
+            if s.valid && s.tag == line {
+                s.dirty = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Marks a present line dirty without an access (used when ownership is
+    /// granted after an upgrade). Returns `true` when the line was present.
+    pub fn mark_dirty(&mut self, line: u64) -> bool {
+        let (start, end) = self.set_range(line);
+        for s in &mut self.slots[start..end] {
+            if s.valid && s.tag == line {
+                s.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines currently cached (O(capacity); for tests and
+    /// reporting).
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+
+    /// Iterates over all resident line addresses (MRU-first within each
+    /// set; for tests and reporting).
+    pub fn resident_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.iter().filter(|s| s.valid).map(|s| s.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(size: u64, assoc: u32) -> Cache {
+        Cache::new(CacheGeometry::new(size, assoc, 64).unwrap())
+    }
+
+    /// Two lines that map to the same set of `c`.
+    fn conflicting_pair(c: &Cache) -> (u64, u64) {
+        let sets = c.geometry().sets();
+        (7, 7 + sets)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = cache(4096, 2);
+        assert_eq!(c.access(1, false), Outcome::Miss);
+        assert!(c.insert(1, false).is_none());
+        assert_eq!(c.access(1, false), Outcome::Hit);
+    }
+
+    #[test]
+    fn write_hit_sets_dirty() {
+        let mut c = cache(4096, 2);
+        c.insert(1, false);
+        assert!(!c.is_dirty(1));
+        c.access(1, true);
+        assert!(c.is_dirty(1));
+    }
+
+    #[test]
+    fn insert_dirty_is_dirty() {
+        let mut c = cache(4096, 2);
+        c.insert(9, true);
+        assert!(c.is_dirty(9));
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = cache(4096, 1);
+        let (a, b) = conflicting_pair(&c);
+        c.insert(a, false);
+        let v = c.insert(b, false).expect("direct-mapped conflict must evict");
+        assert_eq!(v.line, a);
+        assert!(!c.contains(a));
+        assert!(c.contains(b));
+    }
+
+    #[test]
+    fn lru_order_is_respected() {
+        let mut c = cache(4096, 2);
+        let sets = c.geometry().sets();
+        let (a, b, d) = (3, 3 + sets, 3 + 2 * sets);
+        c.insert(a, false);
+        c.insert(b, false);
+        // Touch `a` so `b` becomes LRU.
+        assert_eq!(c.access(a, false), Outcome::Hit);
+        let v = c.insert(d, false).unwrap();
+        assert_eq!(v.line, b, "LRU line must be evicted");
+        assert!(c.contains(a));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn eviction_reports_dirty_victims() {
+        let mut c = cache(4096, 1);
+        let (a, b) = conflicting_pair(&c);
+        c.insert(a, false);
+        c.access(a, true); // dirty it
+        let v = c.insert(b, false).unwrap();
+        assert_eq!(v, Evicted { line: a, dirty: true });
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_dirty() {
+        let mut c = cache(4096, 2);
+        c.insert(5, true);
+        assert_eq!(c.invalidate(5), Some(true));
+        assert!(!c.contains(5));
+        assert_eq!(c.invalidate(5), None);
+    }
+
+    #[test]
+    fn invalidate_frees_slot_for_reuse() {
+        let mut c = cache(4096, 2);
+        let sets = c.geometry().sets();
+        let (a, b, d) = (1, 1 + sets, 1 + 2 * sets);
+        c.insert(a, false);
+        c.insert(b, false);
+        c.invalidate(a);
+        // Set now has a free slot: inserting `d` must not evict `b`.
+        assert!(c.insert(d, false).is_none());
+        assert!(c.contains(b) && c.contains(d));
+    }
+
+    #[test]
+    fn clean_downgrades_dirty_line() {
+        let mut c = cache(4096, 2);
+        c.insert(5, true);
+        assert!(c.clean(5));
+        assert!(!c.is_dirty(5));
+        assert!(c.contains(5));
+        assert!(!c.clean(1234), "cleaning an absent line reports false");
+    }
+
+    #[test]
+    fn mark_dirty_upgrades_clean_line() {
+        let mut c = cache(4096, 2);
+        c.insert(5, false);
+        assert!(c.mark_dirty(5));
+        assert!(c.is_dirty(5));
+        assert!(!c.mark_dirty(77));
+    }
+
+    #[test]
+    fn contains_does_not_disturb_lru() {
+        let mut c = cache(4096, 2);
+        let sets = c.geometry().sets();
+        let (a, b, d) = (2, 2 + sets, 2 + 2 * sets);
+        c.insert(a, false);
+        c.insert(b, false); // MRU = b, LRU = a
+        assert!(c.contains(a)); // must NOT promote a
+        let v = c.insert(d, false).unwrap();
+        assert_eq!(v.line, a);
+    }
+
+    #[test]
+    fn occupancy_counts_valid_lines() {
+        let mut c = cache(4096, 2);
+        assert_eq!(c.occupancy(), 0);
+        c.insert(1, false);
+        c.insert(2, false);
+        assert_eq!(c.occupancy(), 2);
+        c.invalidate(1);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_wraps_by_modulo() {
+        // 1.25 MB 4-way => 5120 sets.
+        let mut c = cache(5 << 18, 4);
+        assert_eq!(c.geometry().sets(), 5120);
+        let line = 5120 * 3 + 17; // maps to set 17
+        c.insert(line, false);
+        assert!(c.contains(line));
+        assert_eq!(c.access(line, false), Outcome::Hit);
+    }
+
+    #[test]
+    fn stats_track_hits_misses_evictions() {
+        let mut c = cache(4096, 1);
+        let (a, b) = conflicting_pair(&c);
+        c.access(a, false);
+        c.insert(a, false);
+        c.access(a, true);
+        c.access(b, false);
+        c.insert(b, false); // evicts dirty a
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.dirty_evictions, 1);
+        c.reset_stats();
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn full_associative_set_keeps_working_set() {
+        let mut c = cache(8 * 64, 8); // one 8-way set
+        for l in 0..8u64 {
+            assert_eq!(c.access(l, false), Outcome::Miss);
+            c.insert(l, false);
+        }
+        for l in 0..8u64 {
+            assert_eq!(c.access(l, false), Outcome::Hit, "line {l} should still be resident");
+        }
+        // Ninth line evicts the LRU, which after the hit sweep is line 0.
+        let v = c.insert(8, false).unwrap();
+        assert_eq!(v.line, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Per-cache access statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a [`Cache`](crate::Cache).
+///
+/// These are raw per-cache counts; the simulator's reports aggregate and
+/// classify them further (e.g. splitting L2 misses into local / 2-hop /
+/// 3-hop).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that found their line resident.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Write accesses that hit.
+    pub write_hits: u64,
+    /// Write accesses that missed.
+    pub write_misses: u64,
+    /// Valid lines displaced by insertions.
+    pub evictions: u64,
+    /// Displaced lines that were dirty (caused a writeback).
+    pub dirty_evictions: u64,
+    /// Lines removed by external invalidations.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in [0, 1]; zero when no accesses were observed.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another cache's counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.write_hits += other.write_hits;
+        self.write_misses += other.write_misses;
+        self.evictions += other.evictions;
+        self.dirty_evictions += other.dirty_evictions;
+        self.invalidations += other.invalidations;
+    }
+
+    pub(crate) fn record_hit(&mut self, write: bool) {
+        self.hits += 1;
+        if write {
+            self.write_hits += 1;
+        }
+    }
+
+    pub(crate) fn record_miss(&mut self, write: bool) {
+        self.misses += 1;
+        if write {
+            self.write_misses += 1;
+        }
+    }
+
+    pub(crate) fn record_eviction(&mut self, dirty: bool) {
+        self.evictions += 1;
+        if dirty {
+            self.dirty_evictions += 1;
+        }
+    }
+
+    pub(crate) fn record_invalidation(&mut self) {
+        self.invalidations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_handles_empty() {
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_is_fraction_of_accesses() {
+        let mut s = CacheStats::default();
+        s.record_hit(false);
+        s.record_miss(true);
+        s.record_miss(false);
+        assert_eq!(s.accesses(), 3);
+        assert!((s.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.write_misses, 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Model-based property tests: the set-associative cache must behave
+//! exactly like a naive reference model (a vector of MRU-ordered lines
+//! per set) under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use csim_cache::{Cache, Outcome};
+use csim_config::CacheGeometry;
+
+/// A deliberately naive reference implementation of a set-associative
+/// write-back LRU cache.
+struct ModelCache {
+    sets: Vec<Vec<(u64, bool)>>, // MRU-first (line, dirty)
+    assoc: usize,
+}
+
+impl ModelCache {
+    fn new(n_sets: usize, assoc: usize) -> Self {
+        ModelCache { sets: vec![Vec::new(); n_sets], assoc }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    fn access(&mut self, line: u64, write: bool) -> bool {
+        let set = self.set_of(line);
+        if let Some(pos) = self.sets[set].iter().position(|&(l, _)| l == line) {
+            let (l, d) = self.sets[set].remove(pos);
+            self.sets[set].insert(0, (l, d || write));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, line: u64, dirty: bool) -> Option<(u64, bool)> {
+        let set = self.set_of(line);
+        let victim = if self.sets[set].len() == self.assoc { self.sets[set].pop() } else { None };
+        self.sets[set].insert(0, (line, dirty));
+        victim
+    }
+
+    fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let set = self.set_of(line);
+        self.sets[set]
+            .iter()
+            .position(|&(l, _)| l == line)
+            .map(|pos| self.sets[set].remove(pos).1)
+    }
+
+    fn contains(&self, line: u64) -> bool {
+        self.sets[self.set_of(line)].iter().any(|&(l, _)| l == line)
+    }
+
+    fn is_dirty(&self, line: u64) -> bool {
+        self.sets[self.set_of(line)].iter().any(|&(l, d)| l == line && d)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Access { line: u64, write: bool },
+    Invalidate { line: u64 },
+    Clean { line: u64 },
+}
+
+fn op_strategy(line_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..line_space, any::<bool>()).prop_map(|(line, write)| Op::Access { line, write }),
+        1 => (0..line_space).prop_map(|line| Op::Invalidate { line }),
+        1 => (0..line_space).prop_map(|line| Op::Clean { line }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_reference_model(
+        ops in prop::collection::vec(op_strategy(96), 1..400),
+        assoc in 1u32..=8,
+    ) {
+        // 16 sets regardless of associativity.
+        let geometry = CacheGeometry::new(u64::from(assoc) * 16 * 64, assoc, 64).unwrap();
+        let mut cache = Cache::new(geometry);
+        let mut model = ModelCache::new(16, assoc as usize);
+
+        for op in ops {
+            match op {
+                Op::Access { line, write } => {
+                    let hit = cache.access(line, write) == Outcome::Hit;
+                    let model_hit = model.access(line, write);
+                    prop_assert_eq!(hit, model_hit, "access({}, {}) diverged", line, write);
+                    if !hit {
+                        // Fill after miss (write-allocate), as the simulator does.
+                        let victim = cache.insert(line, write);
+                        let model_victim = model.insert(line, write);
+                        prop_assert_eq!(
+                            victim.map(|v| (v.line, v.dirty)),
+                            model_victim,
+                            "insert({}) evicted different victims", line
+                        );
+                    }
+                }
+                Op::Invalidate { line } => {
+                    prop_assert_eq!(cache.invalidate(line), model.invalidate(line));
+                }
+                Op::Clean { line } => {
+                    let had = model.contains(line);
+                    if had {
+                        let set = model.set_of(line);
+                        for entry in &mut model.sets[set] {
+                            if entry.0 == line {
+                                entry.1 = false;
+                            }
+                        }
+                    }
+                    prop_assert_eq!(cache.clean(line), had);
+                }
+            }
+        }
+
+        // Final state agreement over the whole line space.
+        for line in 0..96 {
+            prop_assert_eq!(cache.contains(line), model.contains(line), "contains({})", line);
+            prop_assert_eq!(cache.is_dirty(line), model.is_dirty(line), "is_dirty({})", line);
+        }
+        prop_assert_eq!(
+            cache.occupancy(),
+            model.sets.iter().map(Vec::len).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity(
+        lines in prop::collection::vec(0u64..10_000, 1..600),
+    ) {
+        let geometry = CacheGeometry::new(8 * 1024, 4, 64).unwrap();
+        let mut cache = Cache::new(geometry);
+        for line in lines {
+            if cache.access(line, false) == Outcome::Miss {
+                cache.insert(line, false);
+            }
+            prop_assert!(cache.occupancy() as u64 <= geometry.lines());
+        }
+    }
+}

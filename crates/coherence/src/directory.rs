@@ -1,0 +1,548 @@
+//! The full-map directory protocol state machine.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+use crate::node_set::{NodeId, NodeSet};
+
+/// Coherence state of one cache line, as recorded by the directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// No cache holds the line; memory at the home node is current.
+    Uncached,
+    /// One or more caches hold read-only copies; memory is current.
+    Shared(NodeSet),
+    /// Exactly one node holds a modified copy; memory is stale. `in_rac`
+    /// records whether the copy currently sits in the owner's remote
+    /// access cache rather than its L2 (paper Section 6).
+    Modified {
+        /// The owning node.
+        owner: NodeId,
+        /// Whether the modified copy lives in the owner's RAC.
+        in_rac: bool,
+    },
+}
+
+/// Where the data for a miss comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FillSource {
+    /// The home node's memory (clean data). Whether this is a *local* or a
+    /// *2-hop remote* miss depends on whether the requester is the home —
+    /// compare against [`ReadOutcome::home`] / [`WriteOutcome::home`].
+    Home,
+    /// A dirty copy in another node's cache hierarchy (a 3-hop miss).
+    OwnerCache {
+        /// The node whose cache supplies the data.
+        owner: NodeId,
+        /// Whether the copy was in the owner's RAC (slower to retrieve
+        /// than its L2: 250 ns vs 200 ns in the paper).
+        in_rac: bool,
+    },
+}
+
+/// What the directory decided for a read miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Where the fill data comes from.
+    pub source: FillSource,
+    /// The line's home node.
+    pub home: NodeId,
+    /// First machine-wide reference to this line (a cold miss).
+    pub cold: bool,
+    /// A former owner that must downgrade its copy from Modified to Shared
+    /// (its dirty data is written back to the home as part of the 3-hop
+    /// transaction).
+    pub downgraded_owner: Option<NodeId>,
+}
+
+/// What the directory decided for a write miss or upgrade.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Where the fill data comes from (for an upgrade the requester already
+    /// has the data; the source is still reported as `Home`).
+    pub source: FillSource,
+    /// The line's home node.
+    pub home: NodeId,
+    /// First machine-wide reference to this line (a cold miss).
+    pub cold: bool,
+    /// Read-only copies that must be invalidated (never contains the
+    /// requester).
+    pub invalidate: NodeSet,
+    /// A former owner whose modified copy supplies the data and is then
+    /// invalidated.
+    pub previous_owner: Option<NodeId>,
+    /// Whether the requester already held a shared copy (an
+    /// upgrade/ownership request rather than a full data fetch).
+    pub upgrade: bool,
+}
+
+/// Protocol event counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectoryStats {
+    /// Read misses processed.
+    pub read_misses: u64,
+    /// Write misses (including upgrades) processed.
+    pub write_misses: u64,
+    /// Writes that had to invalidate at least one remote copy.
+    pub invalidating_writes: u64,
+    /// Total individual invalidation messages sent.
+    pub invalidations_sent: u64,
+    /// 3-hop transactions (fills supplied by a remote owner's cache).
+    pub three_hop_fills: u64,
+    /// Dirty writebacks received at homes (owner evictions).
+    pub writebacks: u64,
+    /// Downgrades (M -> S on a remote read).
+    pub downgrades: u64,
+}
+
+// A fast, deterministic hasher for u64 line addresses (FxHash-style
+// multiply; the std SipHash is needlessly slow for this hot path and we do
+// not face adversarial keys).
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only used for u64 keys; fold bytes in word-sized chunks.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0 ^ i).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 ^= self.0 >> 32;
+    }
+}
+
+type LineMap<V> = HashMap<u64, V, BuildHasherDefault<LineHasher>>;
+
+/// The full-map invalidation directory for one simulated machine.
+///
+/// Entries are kept per line address; home nodes are assigned by
+/// interleaving pages across nodes (round-robin on the page index), the
+/// scheme the paper assumes when it observes that OLTP data has a 1-in-8
+/// chance of being local on an 8-node machine.
+///
+/// Lines that revert to `Uncached` keep a tombstone entry so cold misses
+/// remain distinguishable from re-fetches.
+#[derive(Debug)]
+pub struct Directory {
+    n_nodes: u8,
+    lines_per_page_shift: u32,
+    entries: LineMap<LineState>,
+    stats: DirectoryStats,
+}
+
+impl Directory {
+    /// Creates a directory for `n_nodes` nodes, with the given cache-line
+    /// and page sizes in bytes (used for home interleaving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes` is 0 or exceeds 64, or if the sizes are not
+    /// powers of two with `page_size >= line_size`.
+    pub fn new(n_nodes: u8, line_size: u64, page_size: u64) -> Self {
+        assert!((1..=64).contains(&n_nodes), "node count {n_nodes} out of range 1..=64");
+        assert!(
+            line_size.is_power_of_two() && page_size.is_power_of_two() && page_size >= line_size,
+            "line/page sizes must be powers of two with page >= line"
+        );
+        Directory {
+            n_nodes,
+            lines_per_page_shift: (page_size / line_size).trailing_zeros(),
+            entries: LineMap::default(),
+            stats: DirectoryStats::default(),
+        }
+    }
+
+    /// Number of nodes this directory serves.
+    pub fn n_nodes(&self) -> u8 {
+        self.n_nodes
+    }
+
+    /// The home node of a line: pages are interleaved round-robin across
+    /// nodes.
+    ///
+    /// ```
+    /// use csim_coherence::Directory;
+    /// let dir = Directory::new(8, 64, 8192);
+    /// // 8192 / 64 = 128 lines per page: lines 0..128 live on node 0,
+    /// // lines 128..256 on node 1, ...
+    /// assert_eq!(dir.home(0), 0);
+    /// assert_eq!(dir.home(129), 1);
+    /// assert_eq!(dir.home(128 * 8), 0);
+    /// ```
+    #[inline]
+    pub fn home(&self, line: u64) -> NodeId {
+        ((line >> self.lines_per_page_shift) % u64::from(self.n_nodes)) as NodeId
+    }
+
+    /// Current directory state of a line (absent lines are `Uncached`).
+    pub fn state(&self, line: u64) -> LineState {
+        self.entries.get(&line).copied().unwrap_or(LineState::Uncached)
+    }
+
+    /// Protocol counters accumulated so far.
+    pub fn stats(&self) -> &DirectoryStats {
+        &self.stats
+    }
+
+    /// Resets counters (end of warmup) without touching protocol state.
+    pub fn reset_stats(&mut self) {
+        self.stats = DirectoryStats::default();
+    }
+
+    /// Processes a read miss by `requester`.
+    ///
+    /// State transitions: `Uncached -> Shared{r}`,
+    /// `Shared(s) -> Shared(s + r)`, `Modified{o} -> Shared{o, r}` (the
+    /// owner downgrades and its data is written back to the home).
+    pub fn read_miss(&mut self, line: u64, requester: NodeId) -> ReadOutcome {
+        debug_assert!(requester < self.n_nodes);
+        self.stats.read_misses += 1;
+        let home = self.home(line);
+        let entry = self.entries.entry(line);
+        let cold = matches!(entry, std::collections::hash_map::Entry::Vacant(_));
+        let state = entry.or_insert(LineState::Uncached);
+        match *state {
+            LineState::Uncached => {
+                *state = LineState::Shared(NodeSet::single(requester));
+                ReadOutcome { source: FillSource::Home, home, cold, downgraded_owner: None }
+            }
+            LineState::Shared(mut sharers) => {
+                sharers.insert(requester);
+                *state = LineState::Shared(sharers);
+                ReadOutcome { source: FillSource::Home, home, cold, downgraded_owner: None }
+            }
+            LineState::Modified { owner, in_rac } => {
+                debug_assert_ne!(
+                    owner, requester,
+                    "requester {requester} read-missed a line it owns (line {line:#x})"
+                );
+                let mut sharers = NodeSet::single(owner);
+                sharers.insert(requester);
+                *state = LineState::Shared(sharers);
+                self.stats.three_hop_fills += 1;
+                self.stats.downgrades += 1;
+                ReadOutcome {
+                    source: FillSource::OwnerCache { owner, in_rac },
+                    home,
+                    cold,
+                    downgraded_owner: Some(owner),
+                }
+            }
+        }
+    }
+
+    /// Processes a write miss (or upgrade) by `requester`. After this call
+    /// the line is `Modified{requester}`.
+    pub fn write_miss(&mut self, line: u64, requester: NodeId) -> WriteOutcome {
+        debug_assert!(requester < self.n_nodes);
+        self.stats.write_misses += 1;
+        let home = self.home(line);
+        let entry = self.entries.entry(line);
+        let cold = matches!(entry, std::collections::hash_map::Entry::Vacant(_));
+        let state = entry.or_insert(LineState::Uncached);
+        let outcome = match *state {
+            LineState::Uncached => WriteOutcome {
+                source: FillSource::Home,
+                home,
+                cold,
+                invalidate: NodeSet::empty(),
+                previous_owner: None,
+                upgrade: false,
+            },
+            LineState::Shared(sharers) => {
+                let upgrade = sharers.contains(requester);
+                let invalidate = sharers.without(requester);
+                WriteOutcome {
+                    source: FillSource::Home,
+                    home,
+                    cold,
+                    invalidate,
+                    previous_owner: None,
+                    upgrade,
+                }
+            }
+            LineState::Modified { owner, in_rac } => {
+                debug_assert_ne!(
+                    owner, requester,
+                    "requester {requester} write-missed a line it owns (line {line:#x})"
+                );
+                self.stats.three_hop_fills += 1;
+                WriteOutcome {
+                    source: FillSource::OwnerCache { owner, in_rac },
+                    home,
+                    cold,
+                    invalidate: NodeSet::empty(),
+                    previous_owner: Some(owner),
+                    upgrade: false,
+                }
+            }
+        };
+        if !outcome.invalidate.is_empty() || outcome.previous_owner.is_some() {
+            self.stats.invalidating_writes += 1;
+            self.stats.invalidations_sent += u64::from(outcome.invalidate.len())
+                + u64::from(outcome.previous_owner.is_some());
+        }
+        *state = LineState::Modified { owner: requester, in_rac: false };
+        outcome
+    }
+
+    /// The owner evicted its modified copy and wrote the data back to the
+    /// home memory. The line becomes `Uncached`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `node` is not the recorded owner.
+    pub fn writeback(&mut self, line: u64, node: NodeId) {
+        let state = self.entries.get_mut(&line).expect("writeback for untracked line");
+        if let LineState::Modified { owner, .. } = *state {
+            debug_assert_eq!(owner, node, "writeback from non-owner node {node} for line {line:#x}");
+        } else {
+            debug_assert!(false, "writeback for non-modified line {line:#x}");
+        }
+        self.stats.writebacks += 1;
+        *state = LineState::Uncached;
+    }
+
+    /// A sharer evicted its read-only copy (optional notification; silent
+    /// clean evictions are also legal, leaving a stale presence bit that
+    /// only costs a spurious invalidation message later).
+    pub fn drop_sharer(&mut self, line: u64, node: NodeId) {
+        if let Some(LineState::Shared(sharers)) = self.entries.get_mut(&line) {
+            sharers.remove(node);
+            if sharers.is_empty() {
+                *self.entries.get_mut(&line).expect("entry exists") = LineState::Uncached;
+            }
+        }
+    }
+
+    /// The owner moved its modified copy from L2 into its RAC (dirty L2
+    /// victim parked in the RAC instead of being written back home).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `node` is not the recorded owner.
+    pub fn owner_moved_to_rac(&mut self, line: u64, node: NodeId) {
+        if let Some(state) = self.entries.get_mut(&line) {
+            if let LineState::Modified { owner, .. } = *state {
+                debug_assert_eq!(owner, node, "non-owner {node} parking line {line:#x} in RAC");
+                *state = LineState::Modified { owner, in_rac: true };
+            }
+        }
+    }
+
+    /// The owner pulled its modified copy back from its RAC into its L2.
+    pub fn owner_refetched_from_rac(&mut self, line: u64, node: NodeId) {
+        if let Some(state) = self.entries.get_mut(&line) {
+            if let LineState::Modified { owner, .. } = *state {
+                debug_assert_eq!(owner, node, "non-owner {node} refetching line {line:#x}");
+                *state = LineState::Modified { owner, in_rac: false };
+            }
+        }
+    }
+
+    /// Number of tracked lines (including `Uncached` tombstones); for
+    /// reporting and tests.
+    pub fn tracked_lines(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over every tracked line and its state (arbitrary order;
+    /// includes `Uncached` tombstones). Used by invariant checkers.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
+        self.entries.iter().map(|(&line, &state)| (line, state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir8() -> Directory {
+        Directory::new(8, 64, 8192)
+    }
+
+    #[test]
+    fn uniprocessor_home_is_always_node_zero() {
+        let dir = Directory::new(1, 64, 8192);
+        for line in [0u64, 1, 1000, 1 << 40] {
+            assert_eq!(dir.home(line), 0);
+        }
+    }
+
+    #[test]
+    fn homes_interleave_by_page() {
+        let dir = dir8();
+        let lines_per_page = 8192 / 64;
+        for page in 0..32u64 {
+            let line = page * lines_per_page + 5;
+            assert_eq!(dir.home(line), (page % 8) as NodeId);
+        }
+    }
+
+    #[test]
+    fn cold_read_fills_from_home_and_shares() {
+        let mut dir = dir8();
+        let r = dir.read_miss(42, 3);
+        assert!(r.cold);
+        assert_eq!(r.source, FillSource::Home);
+        assert_eq!(r.downgraded_owner, None);
+        assert_eq!(dir.state(42), LineState::Shared(NodeSet::single(3)));
+    }
+
+    #[test]
+    fn second_read_is_not_cold() {
+        let mut dir = dir8();
+        dir.read_miss(42, 3);
+        let r = dir.read_miss(42, 4);
+        assert!(!r.cold);
+        let expected: NodeSet = [3u8, 4].into_iter().collect();
+        assert_eq!(dir.state(42), LineState::Shared(expected));
+    }
+
+    #[test]
+    fn read_of_modified_line_is_three_hop_and_downgrades() {
+        let mut dir = dir8();
+        dir.write_miss(42, 1);
+        let r = dir.read_miss(42, 2);
+        assert_eq!(r.source, FillSource::OwnerCache { owner: 1, in_rac: false });
+        assert_eq!(r.downgraded_owner, Some(1));
+        let expected: NodeSet = [1u8, 2].into_iter().collect();
+        assert_eq!(dir.state(42), LineState::Shared(expected));
+        assert_eq!(dir.stats().three_hop_fills, 1);
+        assert_eq!(dir.stats().downgrades, 1);
+    }
+
+    #[test]
+    fn write_to_shared_line_invalidates_other_sharers_only() {
+        let mut dir = dir8();
+        dir.read_miss(42, 0);
+        dir.read_miss(42, 1);
+        dir.read_miss(42, 2);
+        let w = dir.write_miss(42, 1);
+        assert!(w.upgrade, "requester already held a shared copy");
+        let expected: NodeSet = [0u8, 2].into_iter().collect();
+        assert_eq!(w.invalidate, expected);
+        assert_eq!(dir.state(42), LineState::Modified { owner: 1, in_rac: false });
+        assert_eq!(dir.stats().invalidating_writes, 1);
+        assert_eq!(dir.stats().invalidations_sent, 2);
+    }
+
+    #[test]
+    fn write_to_modified_line_transfers_ownership() {
+        let mut dir = dir8();
+        dir.write_miss(42, 1);
+        let w = dir.write_miss(42, 2);
+        assert_eq!(w.source, FillSource::OwnerCache { owner: 1, in_rac: false });
+        assert_eq!(w.previous_owner, Some(1));
+        assert!(!w.upgrade);
+        assert_eq!(dir.state(42), LineState::Modified { owner: 2, in_rac: false });
+    }
+
+    #[test]
+    fn writeback_returns_line_to_memory() {
+        let mut dir = dir8();
+        dir.write_miss(42, 1);
+        dir.writeback(42, 1);
+        assert_eq!(dir.state(42), LineState::Uncached);
+        // Next reader fetches clean data from home — a 2-hop, not 3-hop.
+        let r = dir.read_miss(42, 2);
+        assert_eq!(r.source, FillSource::Home);
+        assert!(!r.cold, "writeback must not reset cold tracking");
+    }
+
+    #[test]
+    fn owner_retention_converts_two_hop_to_three_hop() {
+        // The paper's key observation (Section 3): when the owner retains
+        // its dirty copy (large cache), other nodes suffer 3-hop misses;
+        // when it evicts (small cache -> writeback), they get 2-hop misses.
+        let mut retained = dir8();
+        retained.write_miss(7, 0);
+        let r = retained.read_miss(7, 1);
+        assert_eq!(r.source, FillSource::OwnerCache { owner: 0, in_rac: false });
+
+        let mut evicted = dir8();
+        evicted.write_miss(7, 0);
+        evicted.writeback(7, 0); // small cache evicted the line
+        let r = evicted.read_miss(7, 1);
+        assert_eq!(r.source, FillSource::Home);
+    }
+
+    #[test]
+    fn rac_parking_is_tracked() {
+        let mut dir = dir8();
+        dir.write_miss(42, 1);
+        dir.owner_moved_to_rac(42, 1);
+        assert_eq!(dir.state(42), LineState::Modified { owner: 1, in_rac: true });
+        let r = dir.read_miss(42, 2);
+        assert_eq!(r.source, FillSource::OwnerCache { owner: 1, in_rac: true });
+    }
+
+    #[test]
+    fn rac_refetch_clears_flag() {
+        let mut dir = dir8();
+        dir.write_miss(42, 1);
+        dir.owner_moved_to_rac(42, 1);
+        dir.owner_refetched_from_rac(42, 1);
+        assert_eq!(dir.state(42), LineState::Modified { owner: 1, in_rac: false });
+    }
+
+    #[test]
+    fn drop_sharer_prunes_presence_bits() {
+        let mut dir = dir8();
+        dir.read_miss(42, 0);
+        dir.read_miss(42, 1);
+        dir.drop_sharer(42, 0);
+        assert_eq!(dir.state(42), LineState::Shared(NodeSet::single(1)));
+        dir.drop_sharer(42, 1);
+        assert_eq!(dir.state(42), LineState::Uncached);
+    }
+
+    #[test]
+    fn stats_count_protocol_events() {
+        let mut dir = dir8();
+        dir.read_miss(1, 0);
+        dir.write_miss(1, 1); // invalidates node 0
+        dir.read_miss(1, 2); // 3-hop, downgrade of node 1
+        let s = *dir.stats();
+        assert_eq!(s.read_misses, 2);
+        assert_eq!(s.write_misses, 1);
+        assert_eq!(s.invalidating_writes, 1);
+        assert_eq!(s.invalidations_sent, 1);
+        assert_eq!(s.three_hop_fills, 1);
+        assert_eq!(s.downgrades, 1);
+        dir.reset_stats();
+        assert_eq!(dir.stats().read_misses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "untracked")]
+    fn writeback_of_untracked_line_panics() {
+        let mut dir = dir8();
+        dir.writeback(42, 0);
+    }
+
+    #[test]
+    fn home_node_locality_is_one_in_n() {
+        // Over many pages, each node is home to 1/n of them.
+        let dir = dir8();
+        let lines_per_page = 128u64;
+        let mut local = 0;
+        let total = 8000u64;
+        for page in 0..total {
+            if dir.home(page * lines_per_page) == 3 {
+                local += 1;
+            }
+        }
+        assert_eq!(local, total / 8);
+    }
+}

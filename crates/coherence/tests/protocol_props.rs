@@ -1,0 +1,130 @@
+//! Property tests of the directory protocol state machine: arbitrary
+//! legal operation sequences must preserve the single-writer invariant
+//! and produce self-consistent outcomes.
+
+use proptest::prelude::*;
+
+use csim_coherence::{Directory, FillSource, LineState, NodeId};
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Read { line: u64, node: NodeId },
+    Write { line: u64, node: NodeId },
+    EvictIfOwner { line: u64, node: NodeId },
+}
+
+fn op_strategy(lines: u64, nodes: u8) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..lines, 0..nodes).prop_map(|(line, node)| Op::Read { line, node }),
+        2 => (0..lines, 0..nodes).prop_map(|(line, node)| Op::Write { line, node }),
+        1 => (0..lines, 0..nodes).prop_map(|(line, node)| Op::EvictIfOwner { line, node }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn protocol_outcomes_are_self_consistent(
+        ops in prop::collection::vec(op_strategy(24, 6), 1..300),
+    ) {
+        let mut dir = Directory::new(6, 64, 8192);
+        // Track which nodes conceptually hold a valid copy, mirroring the
+        // caches the simulator would maintain.
+        let mut holders: std::collections::HashMap<u64, Vec<NodeId>> = Default::default();
+
+        for op in ops {
+            match op {
+                Op::Read { line, node } => {
+                    // The simulator only consults the directory on a miss;
+                    // a read by a current dirty owner never reaches here.
+                    if let LineState::Modified { owner, .. } = dir.state(line) {
+                        if owner == node {
+                            continue;
+                        }
+                    }
+                    let out = dir.read_miss(line, node);
+                    // Fill source must agree with the downgrade request.
+                    match out.source {
+                        FillSource::OwnerCache { owner, .. } => {
+                            prop_assert_eq!(out.downgraded_owner, Some(owner));
+                            prop_assert_ne!(owner, node);
+                        }
+                        FillSource::Home => prop_assert_eq!(out.downgraded_owner, None),
+                    }
+                    prop_assert_eq!(out.home, dir.home(line));
+                    // After a read the line is Shared and includes the reader.
+                    match dir.state(line) {
+                        LineState::Shared(s) => prop_assert!(s.contains(node)),
+                        other => prop_assert!(false, "read left state {:?}", other),
+                    }
+                    holders.entry(line).or_default().push(node);
+                }
+                Op::Write { line, node } => {
+                    if let LineState::Modified { owner, .. } = dir.state(line) {
+                        if owner == node {
+                            continue;
+                        }
+                    }
+                    let out = dir.write_miss(line, node);
+                    // Invalidation set never targets the writer.
+                    prop_assert!(!out.invalidate.contains(node));
+                    if let Some(prev) = out.previous_owner {
+                        prop_assert_ne!(prev, node);
+                        // A modified line has no other sharers to invalidate.
+                        prop_assert!(out.invalidate.is_empty());
+                    }
+                    // Single-writer invariant.
+                    prop_assert_eq!(
+                        dir.state(line),
+                        LineState::Modified { owner: node, in_rac: false }
+                    );
+                    holders.insert(line, vec![node]);
+                }
+                Op::EvictIfOwner { line, node } => {
+                    if dir.state(line) == (LineState::Modified { owner: node, in_rac: false }) {
+                        dir.writeback(line, node);
+                        prop_assert_eq!(dir.state(line), LineState::Uncached);
+                        holders.remove(&line);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cold_flag_fires_exactly_once_per_line(
+        accesses in prop::collection::vec((0u64..16, 0u8..4, any::<bool>()), 1..200),
+    ) {
+        let mut dir = Directory::new(4, 64, 8192);
+        let mut seen = std::collections::HashSet::new();
+        for (line, node, write) in accesses {
+            if let LineState::Modified { owner, .. } = dir.state(line) {
+                if owner == node {
+                    continue;
+                }
+            }
+            let cold = if write {
+                dir.write_miss(line, node).cold
+            } else {
+                dir.read_miss(line, node).cold
+            };
+            prop_assert_eq!(cold, seen.insert(line), "cold flag wrong for line {}", line);
+        }
+    }
+
+    #[test]
+    fn homes_are_stable_and_balanced(nodes in 1u8..=16) {
+        let dir = Directory::new(nodes, 64, 8192);
+        let lines_per_page = 8192 / 64;
+        let mut counts = vec![0u32; nodes as usize];
+        for page in 0..(u64::from(nodes) * 64) {
+            let home = dir.home(page * lines_per_page + 3);
+            prop_assert!(home < nodes);
+            prop_assert_eq!(home, dir.home(page * lines_per_page + 99));
+            counts[home as usize] += 1;
+        }
+        // Round-robin interleave: perfectly balanced over whole rounds.
+        prop_assert!(counts.iter().all(|&c| c == 64));
+    }
+}

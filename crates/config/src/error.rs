@@ -1,0 +1,60 @@
+//! Configuration validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid system configuration.
+///
+/// Returned by [`SystemConfigBuilder::build`](crate::SystemConfigBuilder::build)
+/// and by the geometry constructors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A cache size, associativity or line size is malformed (zero, not a
+    /// power of two where required, or not divisible into whole sets).
+    BadGeometry(String),
+    /// The on-chip L2 exceeds what the process technology allows
+    /// (2 MB SRAM / 8 MB DRAM in the paper's 0.18um assumptions).
+    L2TooLargeForDie { size_bytes: u64, limit_bytes: u64 },
+    /// The integration level requires an on-chip (or off-chip) L2 but the
+    /// configured L2 kind does not match.
+    L2KindMismatch(String),
+    /// The node count is invalid for the requested feature (e.g. a remote
+    /// access cache on a uniprocessor).
+    BadNodeCount(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadGeometry(msg) => write!(f, "invalid cache geometry: {msg}"),
+            ConfigError::L2TooLargeForDie { size_bytes, limit_bytes } => write!(
+                f,
+                "on-chip L2 of {size_bytes} bytes exceeds the die limit of {limit_bytes} bytes"
+            ),
+            ConfigError::L2KindMismatch(msg) => write!(f, "l2 kind mismatch: {msg}"),
+            ConfigError::BadNodeCount(msg) => write!(f, "invalid node count: {msg}"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ConfigError::L2TooLargeForDie { size_bytes: 4 << 20, limit_bytes: 2 << 20 };
+        let s = e.to_string();
+        assert!(s.contains("4194304"));
+        assert!(s.contains("2097152"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<ConfigError>();
+    }
+}

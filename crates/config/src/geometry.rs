@@ -1,0 +1,149 @@
+//! Cache geometry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+
+/// Size, associativity and line size of a cache.
+///
+/// Set counts do not have to be powers of two — the paper's Section 6
+/// compares a 1.25 MB L2 against a 1 MB L2 plus remote-access-cache tags,
+/// and 1.25 MB 4-way yields 5120 sets. Indexing is done by modulo in the
+/// cache model, so any whole number of sets is legal.
+///
+/// # Example
+///
+/// ```
+/// use csim_config::CacheGeometry;
+/// let g = CacheGeometry::new(2 << 20, 8, 64)?;
+/// assert_eq!(g.sets(), 4096);
+/// assert_eq!(g.lines(), 32768);
+/// # Ok::<(), csim_config::ConfigError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    assoc: u32,
+    line_size: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry after validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadGeometry`] if any dimension is zero, the
+    /// line size is not a power of two, or the size is not divisible into a
+    /// whole number of sets of `assoc` lines.
+    pub fn new(size_bytes: u64, assoc: u32, line_size: u64) -> Result<Self, ConfigError> {
+        if size_bytes == 0 || assoc == 0 || line_size == 0 {
+            return Err(ConfigError::BadGeometry(format!(
+                "dimensions must be nonzero (size={size_bytes}, assoc={assoc}, line={line_size})"
+            )));
+        }
+        if !line_size.is_power_of_two() {
+            return Err(ConfigError::BadGeometry(format!(
+                "line size must be a power of two, got {line_size}"
+            )));
+        }
+        let set_bytes = line_size * u64::from(assoc);
+        if !size_bytes.is_multiple_of(set_bytes) {
+            return Err(ConfigError::BadGeometry(format!(
+                "size {size_bytes} is not a whole number of {assoc}-way sets of {line_size}-byte lines"
+            )));
+        }
+        Ok(CacheGeometry { size_bytes, assoc, line_size })
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity (lines per set).
+    pub fn assoc(&self) -> u32 {
+        self.assoc
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_size * u64::from(self.assoc))
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_size
+    }
+
+    /// A compact label in the paper's notation, e.g. `2M8w` for a 2 MB
+    /// 8-way cache or `1.25M4w` for fractional megabyte sizes.
+    ///
+    /// ```
+    /// use csim_config::CacheGeometry;
+    /// let g = CacheGeometry::new(2 << 20, 8, 64)?;
+    /// assert_eq!(g.label(), "2M8w");
+    /// # Ok::<(), csim_config::ConfigError>(())
+    /// ```
+    pub fn label(&self) -> String {
+        let mb = self.size_bytes as f64 / (1u64 << 20) as f64;
+        if (mb - mb.round()).abs() < 1e-9 {
+            format!("{}M{}w", mb.round() as u64, self.assoc)
+        } else {
+            format!("{mb}M{}w", self.assoc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_dimensions() {
+        let g = CacheGeometry::new(8 << 20, 1, 64).unwrap();
+        assert_eq!(g.size_bytes(), 8 << 20);
+        assert_eq!(g.assoc(), 1);
+        assert_eq!(g.line_size(), 64);
+        assert_eq!(g.sets(), 131072);
+        assert_eq!(g.lines(), 131072);
+    }
+
+    #[test]
+    fn fractional_megabyte_geometry_is_legal() {
+        // 1.25 MB 4-way, as used in the paper's Figure 12.
+        let g = CacheGeometry::new(5 << 18, 4, 64).unwrap();
+        assert_eq!(g.sets(), 5120);
+        assert_eq!(g.label(), "1.25M4w");
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(CacheGeometry::new(0, 1, 64).is_err());
+        assert!(CacheGeometry::new(1024, 0, 64).is_err());
+        assert!(CacheGeometry::new(1024, 1, 0).is_err());
+    }
+
+    #[test]
+    fn non_power_of_two_line_rejected() {
+        assert!(CacheGeometry::new(1024, 1, 48).is_err());
+    }
+
+    #[test]
+    fn indivisible_size_rejected() {
+        // 1000 bytes cannot be split into 64-byte-line sets.
+        assert!(CacheGeometry::new(1000, 1, 64).is_err());
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        let g = CacheGeometry::new(1 << 20, 8, 64).unwrap();
+        assert_eq!(g.label(), "1M8w");
+        let g = CacheGeometry::new(8 << 20, 1, 64).unwrap();
+        assert_eq!(g.label(), "8M1w");
+    }
+}

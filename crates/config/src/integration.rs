@@ -1,0 +1,152 @@
+//! Integration levels and L2 implementation technology.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::CacheGeometry;
+
+/// Which system-level modules are integrated onto the processor die.
+///
+/// The paper successively moves the second-level cache (L2), the memory
+/// controller (MC), and the coherence controller / network router (CC/NR)
+/// onto the processor chip, measuring each step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IntegrationLevel {
+    /// A conventional design with an unoptimized off-chip memory system
+    /// ("Conservative Base" in Figure 3).
+    ConservativeBase,
+    /// An aggressive off-chip design: L2 data, MC and CC/NR are all
+    /// external, but latencies are optimized ("Base").
+    Base,
+    /// L2 data integrated on-chip; MC and CC/NR remain external.
+    L2Integrated,
+    /// L2 and memory controller on-chip; CC/NR external. The separation of
+    /// the MC from the CC makes *remote* accesses slower than in less
+    /// integrated designs (see Section 4 of the paper).
+    L2McIntegrated,
+    /// L2, MC, and CC/NR all on-chip — the Alpha 21364 design point.
+    FullyIntegrated,
+}
+
+impl IntegrationLevel {
+    /// Whether the L2 data array is on the processor die at this level.
+    pub fn l2_on_chip(self) -> bool {
+        matches!(
+            self,
+            IntegrationLevel::L2Integrated
+                | IntegrationLevel::L2McIntegrated
+                | IntegrationLevel::FullyIntegrated
+        )
+    }
+
+    /// Whether the memory controller is on the processor die.
+    pub fn mc_on_chip(self) -> bool {
+        matches!(self, IntegrationLevel::L2McIntegrated | IntegrationLevel::FullyIntegrated)
+    }
+
+    /// Whether the coherence controller and network router are on the die.
+    pub fn cc_on_chip(self) -> bool {
+        matches!(self, IntegrationLevel::FullyIntegrated)
+    }
+
+    /// Short label used in experiment output ("Cons", "Base", "L2",
+    /// "L2+MC", "All" — the names in the paper's Figure 10).
+    pub fn label(self) -> &'static str {
+        match self {
+            IntegrationLevel::ConservativeBase => "Cons",
+            IntegrationLevel::Base => "Base",
+            IntegrationLevel::L2Integrated => "L2",
+            IntegrationLevel::L2McIntegrated => "L2+MC",
+            IntegrationLevel::FullyIntegrated => "All",
+        }
+    }
+
+    /// All levels in increasing order of integration.
+    pub fn all() -> [IntegrationLevel; 5] {
+        [
+            IntegrationLevel::ConservativeBase,
+            IntegrationLevel::Base,
+            IntegrationLevel::L2Integrated,
+            IntegrationLevel::L2McIntegrated,
+            IntegrationLevel::FullyIntegrated,
+        ]
+    }
+}
+
+/// The implementation technology of the L2 data array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum L2Kind {
+    /// External SRAM (the off-chip designs). Capacity is unconstrained;
+    /// direct-mapped organizations enjoy a faster hit time (25 vs 30
+    /// cycles) because the data cycle can be wave-pipelined.
+    OffChip,
+    /// On-chip SRAM: at most 2 MB in the paper's 0.18um technology, 15
+    /// cycle hits at any associativity.
+    OnChipSram,
+    /// On-chip embedded DRAM: up to 8 MB but slower (25 cycle hits).
+    OnChipDram,
+}
+
+impl L2Kind {
+    /// Maximum capacity the die can hold for this kind, or `None` when
+    /// unconstrained (off-chip).
+    pub fn die_limit_bytes(self) -> Option<u64> {
+        match self {
+            L2Kind::OffChip => None,
+            L2Kind::OnChipSram => Some(2 << 20),
+            L2Kind::OnChipDram => Some(8 << 20),
+        }
+    }
+}
+
+/// Full description of the second-level cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct L2Config {
+    /// Size / associativity / line size.
+    pub geometry: CacheGeometry,
+    /// Implementation technology (drives hit latency and die limits).
+    pub kind: L2Kind,
+}
+
+impl L2Config {
+    /// Convenience constructor.
+    pub fn new(geometry: CacheGeometry, kind: L2Kind) -> Self {
+        L2Config { geometry, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_placement_is_monotonic() {
+        use IntegrationLevel::*;
+        let levels = IntegrationLevel::all();
+        assert_eq!(levels.len(), 5);
+        // Each successive level integrates at least as much.
+        for w in levels.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert!(u8::from(a.l2_on_chip()) <= u8::from(b.l2_on_chip()));
+            assert!(u8::from(a.mc_on_chip()) <= u8::from(b.mc_on_chip()));
+            assert!(u8::from(a.cc_on_chip()) <= u8::from(b.cc_on_chip()));
+        }
+        assert!(!Base.l2_on_chip());
+        assert!(L2Integrated.l2_on_chip() && !L2Integrated.mc_on_chip());
+        assert!(L2McIntegrated.mc_on_chip() && !L2McIntegrated.cc_on_chip());
+        assert!(FullyIntegrated.cc_on_chip());
+    }
+
+    #[test]
+    fn labels_match_paper_figure_10() {
+        assert_eq!(IntegrationLevel::Base.label(), "Base");
+        assert_eq!(IntegrationLevel::L2McIntegrated.label(), "L2+MC");
+        assert_eq!(IntegrationLevel::FullyIntegrated.label(), "All");
+    }
+
+    #[test]
+    fn die_limits_match_section_2_3() {
+        assert_eq!(L2Kind::OffChip.die_limit_bytes(), None);
+        assert_eq!(L2Kind::OnChipSram.die_limit_bytes(), Some(2 << 20));
+        assert_eq!(L2Kind::OnChipDram.die_limit_bytes(), Some(8 << 20));
+    }
+}

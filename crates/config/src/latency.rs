@@ -1,0 +1,177 @@
+//! The paper's memory-latency table (Figure 3).
+//!
+//! All latencies are in processor cycles; the paper's processor runs at
+//! 1 GHz, so cycles equal nanoseconds.
+
+use serde::{Deserialize, Serialize};
+
+use crate::integration::{IntegrationLevel, L2Kind};
+
+/// Memory latencies for one system configuration, in cycles.
+///
+/// The four columns of the paper's Figure 3, plus the two remote-access-
+/// cache latencies introduced in Section 6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LatencyTable {
+    /// L2 hit (an L1 miss that hits in the L2).
+    pub l2_hit: u64,
+    /// Miss serviced by the local memory.
+    pub local: u64,
+    /// Miss serviced by a remote home memory (2-hop).
+    pub remote_clean: u64,
+    /// Miss serviced by a dirty line in a remote processor's cache (3-hop).
+    pub remote_dirty: u64,
+    /// Hit in the local remote-access cache, when one is configured
+    /// (Section 6: same as local memory, 75 ns).
+    pub rac_hit: u64,
+    /// Miss serviced by dirty data held in a *remote node's RAC* rather
+    /// than its L2 (Section 6: 250 ns vs 200 ns).
+    pub remote_dirty_in_rac: u64,
+}
+
+impl LatencyTable {
+    /// Builds the latency row of Figure 3 for a given integration level and
+    /// L2 implementation.
+    ///
+    /// `l2_assoc` only matters for the `Base` off-chip configuration, where
+    /// direct-mapped external SRAM can be wave-pipelined (25-cycle hits)
+    /// while associative organizations pay 30 cycles.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use csim_config::{IntegrationLevel, L2Kind, LatencyTable};
+    /// let base_dm = LatencyTable::for_system(IntegrationLevel::Base, L2Kind::OffChip, 1);
+    /// assert_eq!((base_dm.l2_hit, base_dm.local), (25, 100));
+    /// let full = LatencyTable::for_system(
+    ///     IntegrationLevel::FullyIntegrated, L2Kind::OnChipSram, 8);
+    /// assert_eq!(full.remote_dirty, 200);
+    /// ```
+    pub fn for_system(level: IntegrationLevel, l2_kind: L2Kind, l2_assoc: u32) -> Self {
+        let (l2_hit, local, remote_clean, remote_dirty) = match level {
+            IntegrationLevel::ConservativeBase => (30, 150, 225, 325),
+            IntegrationLevel::Base => {
+                if l2_assoc == 1 {
+                    (25, 100, 175, 275)
+                } else {
+                    (30, 100, 175, 275)
+                }
+            }
+            IntegrationLevel::L2Integrated => match l2_kind {
+                L2Kind::OnChipDram => (25, 100, 175, 275),
+                _ => (15, 100, 175, 275),
+            },
+            // The MC is integrated but the CC is not: local accesses get
+            // faster (75) while remote accesses that must flow through the
+            // external CC and then back over the system bus to reach memory
+            // get *slower* (225).
+            IntegrationLevel::L2McIntegrated => match l2_kind {
+                L2Kind::OnChipDram => (25, 75, 225, 275),
+                _ => (15, 75, 225, 275),
+            },
+            IntegrationLevel::FullyIntegrated => match l2_kind {
+                L2Kind::OnChipDram => (25, 75, 150, 200),
+                _ => (15, 75, 150, 200),
+            },
+        };
+        LatencyTable {
+            l2_hit,
+            local,
+            remote_clean,
+            remote_dirty,
+            rac_hit: 75,
+            remote_dirty_in_rac: 250,
+        }
+    }
+
+    /// Renders the full Figure 3 table as aligned text.
+    pub fn figure3_table() -> String {
+        use IntegrationLevel::*;
+        let rows: [(&str, LatencyTable); 7] = [
+            ("Conservative Base", LatencyTable::for_system(ConservativeBase, L2Kind::OffChip, 1)),
+            ("Base, 1-way L2", LatencyTable::for_system(Base, L2Kind::OffChip, 1)),
+            ("Base, n-way L2", LatencyTable::for_system(Base, L2Kind::OffChip, 4)),
+            ("L2 integrated, SRAM", LatencyTable::for_system(L2Integrated, L2Kind::OnChipSram, 8)),
+            ("L2 integrated, DRAM", LatencyTable::for_system(L2Integrated, L2Kind::OnChipDram, 8)),
+            ("L2, MC integrated", LatencyTable::for_system(L2McIntegrated, L2Kind::OnChipSram, 8)),
+            (
+                "L2, MC, CC/NR integrated",
+                LatencyTable::for_system(FullyIntegrated, L2Kind::OnChipSram, 8),
+            ),
+        ];
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<26} {:>6} {:>6} {:>7} {:>13}\n",
+            "Configuration", "L2 Hit", "Local", "Remote", "Remote Dirty"
+        ));
+        for (name, t) in rows {
+            out.push_str(&format!(
+                "{:<26} {:>6} {:>6} {:>7} {:>13}\n",
+                name, t.l2_hit, t.local, t.remote_clean, t.remote_dirty
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use IntegrationLevel::*;
+
+    #[test]
+    fn figure3_rows_reproduced_exactly() {
+        let t = LatencyTable::for_system(ConservativeBase, L2Kind::OffChip, 4);
+        assert_eq!((t.l2_hit, t.local, t.remote_clean, t.remote_dirty), (30, 150, 225, 325));
+        let t = LatencyTable::for_system(Base, L2Kind::OffChip, 1);
+        assert_eq!((t.l2_hit, t.local, t.remote_clean, t.remote_dirty), (25, 100, 175, 275));
+        let t = LatencyTable::for_system(Base, L2Kind::OffChip, 4);
+        assert_eq!((t.l2_hit, t.local, t.remote_clean, t.remote_dirty), (30, 100, 175, 275));
+        let t = LatencyTable::for_system(L2Integrated, L2Kind::OnChipSram, 8);
+        assert_eq!((t.l2_hit, t.local, t.remote_clean, t.remote_dirty), (15, 100, 175, 275));
+        let t = LatencyTable::for_system(L2Integrated, L2Kind::OnChipDram, 8);
+        assert_eq!((t.l2_hit, t.local, t.remote_clean, t.remote_dirty), (25, 100, 175, 275));
+        let t = LatencyTable::for_system(L2McIntegrated, L2Kind::OnChipSram, 8);
+        assert_eq!((t.l2_hit, t.local, t.remote_clean, t.remote_dirty), (15, 75, 225, 275));
+        let t = LatencyTable::for_system(FullyIntegrated, L2Kind::OnChipSram, 8);
+        assert_eq!((t.l2_hit, t.local, t.remote_clean, t.remote_dirty), (15, 75, 150, 200));
+    }
+
+    #[test]
+    fn full_integration_improvement_factors_match_section_2_3() {
+        // "full integration reduces L2 hit latency by 1.67x, local memory
+        // latency by 1.33x, remote latency by 1.17x and remote dirty
+        // latency by 1.38x relative to the Base parameters."
+        let base = LatencyTable::for_system(Base, L2Kind::OffChip, 1);
+        let full = LatencyTable::for_system(FullyIntegrated, L2Kind::OnChipSram, 8);
+        let ratio = |a: u64, b: u64| a as f64 / b as f64;
+        assert!((ratio(base.l2_hit, full.l2_hit) - 1.67).abs() < 0.01);
+        assert!((ratio(base.local, full.local) - 1.33).abs() < 0.01);
+        assert!((ratio(base.remote_clean, full.remote_clean) - 1.17).abs() < 0.01);
+        assert!((ratio(base.remote_dirty, full.remote_dirty) - 1.38).abs() < 0.01);
+    }
+
+    #[test]
+    fn mc_integration_raises_remote_latency() {
+        // Section 4: separating MC from CC makes remote reads slower.
+        let l2_only = LatencyTable::for_system(L2Integrated, L2Kind::OnChipSram, 8);
+        let l2_mc = LatencyTable::for_system(L2McIntegrated, L2Kind::OnChipSram, 8);
+        assert!(l2_mc.remote_clean > l2_only.remote_clean);
+        assert!(l2_mc.local < l2_only.local);
+    }
+
+    #[test]
+    fn rac_latencies_match_section_6() {
+        let t = LatencyTable::for_system(FullyIntegrated, L2Kind::OnChipSram, 8);
+        assert_eq!(t.rac_hit, 75);
+        assert_eq!(t.remote_dirty_in_rac, 250);
+    }
+
+    #[test]
+    fn rendered_table_contains_all_rows() {
+        let s = LatencyTable::figure3_table();
+        assert!(s.contains("Conservative Base"));
+        assert!(s.contains("L2, MC, CC/NR integrated"));
+        assert_eq!(s.lines().count(), 8);
+    }
+}

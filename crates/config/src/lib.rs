@@ -1,0 +1,59 @@
+//! System configurations for the chip-level-integration study.
+//!
+//! This crate encodes the experimental matrix of the paper:
+//!
+//! * [`IntegrationLevel`] — which system-level modules (L2 cache, memory
+//!   controller, coherence controller / network router) are on the
+//!   processor die.
+//! * [`LatencyTable`] — the memory latencies of the paper's Figure 3, in
+//!   processor cycles at 1 GHz.
+//! * [`CacheGeometry`] / [`L2Config`] — cache sizes and associativities.
+//! * [`SystemConfig`] — a validated full-system description built with
+//!   [`SystemConfigBuilder`], consumed by the simulator in `csim-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use csim_config::{IntegrationLevel, SystemConfig};
+//!
+//! // The paper's fully-integrated 8-processor configuration with a
+//! // 2 MB 8-way on-chip L2 (the "All" bar of Figure 10).
+//! let cfg = SystemConfig::builder()
+//!     .nodes(8)
+//!     .integration(IntegrationLevel::FullyIntegrated)
+//!     .l2_sram(2 << 20, 8)
+//!     .build()?;
+//! assert_eq!(cfg.latencies().l2_hit, 15);
+//! assert_eq!(cfg.latencies().remote_dirty, 200);
+//! # Ok::<(), csim_config::ConfigError>(())
+//! ```
+
+mod error;
+mod geometry;
+mod integration;
+mod latency;
+mod processor;
+mod system;
+
+pub use error::ConfigError;
+pub use geometry::CacheGeometry;
+pub use integration::{IntegrationLevel, L2Config, L2Kind};
+pub use latency::LatencyTable;
+pub use processor::{OooParams, ProcessorModel};
+pub use system::{RacConfig, SystemConfig, SystemConfigBuilder};
+
+/// Cache line size used by every configuration in the paper (bytes).
+pub const LINE_SIZE: u64 = 64;
+
+/// Page size used for home-node interleaving and instruction replication
+/// (bytes).
+pub const PAGE_SIZE: u64 = 8192;
+
+/// Number of processors in the paper's multiprocessor configuration.
+pub const MP_NODES: usize = 8;
+
+/// Size of each first-level cache (64 KB, 2-way in the paper's Figure 2).
+pub const L1_SIZE: u64 = 64 << 10;
+
+/// Associativity of the first-level caches.
+pub const L1_ASSOC: u32 = 2;

@@ -1,0 +1,225 @@
+//! Simulation reports: miss breakdowns and figure-ready bars.
+
+use serde::{Deserialize, Serialize};
+
+use csim_cache::CacheStats;
+use csim_coherence::DirectoryStats;
+use csim_proc::ExecBreakdown;
+use csim_stats::Bar;
+
+/// L2 misses classified the way the paper's miss figures are drawn:
+/// instruction vs data, by where the miss was serviced.
+///
+/// Hits in a node's own remote access cache count as *local* (the RAC's
+/// data lives in local memory), mirroring the paper's Figure 11 where the
+/// RAC converts remote misses into local ones.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissBreakdown {
+    /// Instruction misses serviced locally (local home or RAC hit).
+    pub instr_local: u64,
+    /// Instruction misses serviced by a remote home (2-hop). Instructions
+    /// are never dirty, so there is no 3-hop instruction category.
+    pub instr_remote: u64,
+    /// Data misses serviced locally (local home or RAC hit).
+    pub data_local: u64,
+    /// Data misses serviced clean by a remote home (2-hop).
+    pub data_remote_clean: u64,
+    /// Data misses serviced by dirty data in a remote cache (3-hop).
+    pub data_remote_dirty: u64,
+    /// Of the above, misses that touched their line for the first time
+    /// machine-wide (cold misses).
+    pub cold: u64,
+}
+
+impl MissBreakdown {
+    /// Total L2 misses.
+    pub fn total(&self) -> u64 {
+        self.instr_local
+            + self.instr_remote
+            + self.data_local
+            + self.data_remote_clean
+            + self.data_remote_dirty
+    }
+
+    /// Total instruction misses.
+    pub fn instr(&self) -> u64 {
+        self.instr_local + self.instr_remote
+    }
+
+    /// Total data misses.
+    pub fn data(&self) -> u64 {
+        self.data_local + self.data_remote_clean + self.data_remote_dirty
+    }
+
+    /// Misses serviced by remote nodes (2-hop + 3-hop).
+    pub fn remote(&self) -> u64 {
+        self.instr_remote + self.data_remote_clean + self.data_remote_dirty
+    }
+
+    /// Accumulates another breakdown.
+    pub fn merge(&mut self, other: &MissBreakdown) {
+        self.instr_local += other.instr_local;
+        self.instr_remote += other.instr_remote;
+        self.data_local += other.data_local;
+        self.data_remote_clean += other.data_remote_clean;
+        self.data_remote_dirty += other.data_remote_dirty;
+        self.cold += other.cold;
+    }
+}
+
+/// Remote-access-cache effectiveness counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RacStats {
+    /// L2 misses satisfied by the node's own RAC.
+    pub hits: u64,
+    /// L2 misses to remote lines that also missed the RAC.
+    pub misses: u64,
+}
+
+impl RacStats {
+    /// RAC hit rate over remote-line L2 misses; zero when never probed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another set of counters.
+    pub fn merge(&mut self, other: &RacStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// Everything one simulation run produced.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimReport {
+    /// One-line description of the simulated configuration.
+    pub config_summary: String,
+    /// Execution time aggregated over all nodes.
+    pub breakdown: ExecBreakdown,
+    /// Execution time per node.
+    pub per_node: Vec<ExecBreakdown>,
+    /// L2 misses aggregated over all nodes.
+    pub misses: MissBreakdown,
+    /// Coherence-protocol counters.
+    pub directory: DirectoryStats,
+    /// Aggregated L1 instruction-cache counters.
+    pub l1i: CacheStats,
+    /// Aggregated L1 data-cache counters.
+    pub l1d: CacheStats,
+    /// RAC counters (all zero when no RAC is configured).
+    pub rac: RacStats,
+    /// Ownership upgrades (stores to shared lines); not counted as L2
+    /// misses.
+    pub upgrades: u64,
+    /// Transactions committed during the measured window.
+    pub transactions: u64,
+    /// References processed per node during the measured window.
+    pub refs_per_node: u64,
+}
+
+impl SimReport {
+    /// The paper's execution-time bar for this run: CPU, L2Hit, LocStall,
+    /// RemStall (remote = 2-hop + 3-hop).
+    pub fn exec_bar(&self, label: impl Into<String>) -> Bar {
+        Bar::new(label)
+            .with("CPU", self.breakdown.busy_cycles)
+            .with("L2Hit", self.breakdown.l2_hit_cycles)
+            .with("LocStall", self.breakdown.local_cycles)
+            .with("RemStall", self.breakdown.remote_cycles())
+    }
+
+    /// The paper's miss bar for this run: I-Loc, I-Rem, D-Loc, D-RemClean,
+    /// D-RemDirty.
+    pub fn miss_bar(&self, label: impl Into<String>) -> Bar {
+        Bar::new(label)
+            .with("I-Loc", self.misses.instr_local as f64)
+            .with("I-Rem", self.misses.instr_remote as f64)
+            .with("D-Loc", self.misses.data_local as f64)
+            .with("D-RemClean", self.misses.data_remote_clean as f64)
+            .with("D-RemDirty", self.misses.data_remote_dirty as f64)
+    }
+
+    /// L2 misses per 1000 instructions.
+    pub fn mpki(&self) -> f64 {
+        if self.breakdown.instructions == 0 {
+            0.0
+        } else {
+            self.misses.total() as f64 * 1000.0 / self.breakdown.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn miss_breakdown() -> MissBreakdown {
+        MissBreakdown {
+            instr_local: 1,
+            instr_remote: 2,
+            data_local: 3,
+            data_remote_clean: 4,
+            data_remote_dirty: 5,
+            cold: 2,
+        }
+    }
+
+    #[test]
+    fn totals_and_splits() {
+        let m = miss_breakdown();
+        assert_eq!(m.total(), 15);
+        assert_eq!(m.instr(), 3);
+        assert_eq!(m.data(), 12);
+        assert_eq!(m.remote(), 11);
+    }
+
+    #[test]
+    fn merge_is_componentwise() {
+        let mut a = miss_breakdown();
+        a.merge(&miss_breakdown());
+        assert_eq!(a.total(), 30);
+        assert_eq!(a.cold, 4);
+    }
+
+    #[test]
+    fn rac_hit_rate() {
+        let r = RacStats { hits: 42, misses: 58 };
+        assert!((r.hit_rate() - 0.42).abs() < 1e-12);
+        assert_eq!(RacStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn bars_carry_all_components() {
+        let report = SimReport {
+            config_summary: "test".into(),
+            breakdown: ExecBreakdown {
+                instructions: 1000,
+                busy_cycles: 10.0,
+                l2_hit_cycles: 20.0,
+                local_cycles: 30.0,
+                remote_clean_cycles: 5.0,
+                remote_dirty_cycles: 15.0,
+            },
+            per_node: vec![],
+            misses: miss_breakdown(),
+            directory: Default::default(),
+            l1i: Default::default(),
+            l1d: Default::default(),
+            rac: Default::default(),
+            upgrades: 0,
+            transactions: 0,
+            refs_per_node: 0,
+        };
+        let eb = report.exec_bar("x");
+        assert_eq!(eb.component("RemStall"), Some(20.0));
+        assert_eq!(eb.total(), 80.0);
+        let mb = report.miss_bar("x");
+        assert_eq!(mb.total(), 15.0);
+        assert_eq!(report.mpki(), 15.0);
+    }
+}

@@ -1,0 +1,1091 @@
+//! The simulation engine.
+
+use std::sync::Arc;
+
+use csim_cache::Cache;
+use csim_coherence::{Directory, FillSource, LineState, NodeId, NodeSet};
+use csim_config::{LatencyTable, SystemConfig, LINE_SIZE, PAGE_SIZE};
+use csim_proc::{ExecBreakdown, StallClass, Timing, TimingModel};
+use csim_trace::{MemRef, ReferenceStream};
+use csim_workload::{NodeWorkload, OltpParams, OltpWorkload, ParamsError, SharedOltpState};
+
+use crate::report::{MissBreakdown, RacStats, SimReport};
+
+/// One processor core: private L1s, a timing model, and its share of the
+/// execution-time breakdown.
+#[derive(Debug)]
+struct Core {
+    l1i: Cache,
+    l1d: Cache,
+    timing: Timing,
+    bd: ExecBreakdown,
+}
+
+/// Per-node (per-chip) simulation state: the cores, the shared L2/RAC,
+/// and miss counters. With `cores_per_node = 1` this is exactly the
+/// paper's machine; more cores model the chip multiprocessor its
+/// conclusion suggests.
+#[derive(Debug)]
+struct Node {
+    cores: Vec<Core>,
+    l2: Cache,
+    rac: Option<Cache>,
+    misses: MissBreakdown,
+    rac_stats: RacStats,
+    upgrades: u64,
+}
+
+/// The full-system simulator: one cache hierarchy per node, a shared
+/// directory, and the latency table of the configuration under test.
+///
+/// Generic over the reference stream so unit tests can drive it with
+/// hand-built traces; experiments use [`Simulation::with_oltp`].
+pub struct Simulation<S = NodeWorkload> {
+    summary: String,
+    latencies: LatencyTable,
+    replicate_instructions: bool,
+    cores_per_node: usize,
+    nodes: Vec<Node>,
+    streams: Vec<S>,
+    dir: Directory,
+    refs_run: u64,
+    txn_source: Option<Arc<SharedOltpState>>,
+    txn_baseline: u64,
+}
+
+impl Simulation<NodeWorkload> {
+    /// Builds a simulation of `cfg` running the synthetic OLTP workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError`] when the workload parameters are invalid.
+    pub fn with_oltp(cfg: &SystemConfig, params: OltpParams) -> Result<Self, ParamsError> {
+        let streams = OltpWorkload::build(params, cfg.total_cores())?;
+        let shared = streams[0].shared_handle();
+        let mut sim = Simulation::new(cfg, streams);
+        sim.txn_source = Some(shared);
+        Ok(sim)
+    }
+}
+
+impl<S: ReferenceStream> Simulation<S> {
+    /// Builds a simulation of `cfg` fed by the given per-node streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams.len() != cfg.total_cores()` (one stream per
+    /// core) or the node count exceeds the directory's 64-node limit.
+    pub fn new(cfg: &SystemConfig, streams: Vec<S>) -> Self {
+        assert_eq!(
+            streams.len(),
+            cfg.total_cores(),
+            "need exactly one reference stream per core"
+        );
+        assert!(cfg.n_nodes() <= 64, "directory supports at most 64 nodes");
+        let nodes = (0..cfg.n_nodes())
+            .map(|_| Node {
+                cores: (0..cfg.cores_per_node())
+                    .map(|_| Core {
+                        l1i: Cache::new(cfg.l1i()),
+                        l1d: Cache::new(cfg.l1d()),
+                        timing: Timing::for_model(cfg.processor()),
+                        bd: ExecBreakdown::default(),
+                    })
+                    .collect(),
+                l2: Cache::new(cfg.l2().geometry),
+                rac: cfg.rac().map(|r| Cache::new(r.geometry)),
+                misses: MissBreakdown::default(),
+                rac_stats: RacStats::default(),
+                upgrades: 0,
+            })
+            .collect();
+        Simulation {
+            summary: cfg.summary(),
+            latencies: cfg.latencies(),
+            replicate_instructions: cfg.replicate_instructions(),
+            cores_per_node: cfg.cores_per_node(),
+            nodes,
+            streams,
+            dir: Directory::new(cfg.n_nodes() as u8, LINE_SIZE, PAGE_SIZE),
+            refs_run: 0,
+            txn_source: None,
+            txn_baseline: 0,
+        }
+    }
+
+    /// Number of simulated nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Runs `refs_per_node` references per node to populate caches and
+    /// directory state, then clears all statistics.
+    pub fn warm_up(&mut self, refs_per_node: u64) {
+        self.advance(refs_per_node);
+        self.reset_stats();
+    }
+
+    /// Runs `refs_per_node` references per node (round-robin, one
+    /// reference per node per step) and reports what happened.
+    pub fn run(&mut self, refs_per_node: u64) -> SimReport {
+        self.advance(refs_per_node);
+        self.report(refs_per_node)
+    }
+
+    /// Clears every statistic (breakdowns, miss counts, cache and
+    /// directory counters) without touching simulated state.
+    pub fn reset_stats(&mut self) {
+        for node in &mut self.nodes {
+            for core in &mut node.cores {
+                core.bd = ExecBreakdown::default();
+                core.l1i.reset_stats();
+                core.l1d.reset_stats();
+            }
+            node.misses = MissBreakdown::default();
+            node.rac_stats = RacStats::default();
+            node.upgrades = 0;
+            node.l2.reset_stats();
+            if let Some(rac) = &mut node.rac {
+                rac.reset_stats();
+            }
+        }
+        self.dir.reset_stats();
+        self.refs_run = 0;
+        self.txn_baseline =
+            self.txn_source.as_ref().map_or(0, |s| s.transactions_completed());
+    }
+
+    fn advance(&mut self, refs_per_node: u64) {
+        for _ in 0..refs_per_node {
+            for s in 0..self.streams.len() {
+                let r = self.streams[s].next_ref();
+                self.access(s / self.cores_per_node, s % self.cores_per_node, r);
+            }
+        }
+        self.refs_run += refs_per_node;
+    }
+
+    fn report(&self, refs_per_node: u64) -> SimReport {
+        let mut breakdown = ExecBreakdown::default();
+        let mut misses = MissBreakdown::default();
+        let mut rac = RacStats::default();
+        let mut upgrades = 0;
+        let mut l1i = csim_cache::CacheStats::default();
+        let mut l1d = csim_cache::CacheStats::default();
+        let mut per_node = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let mut node_bd = ExecBreakdown::default();
+            for core in &node.cores {
+                node_bd.merge(&core.bd);
+                l1i.merge(core.l1i.stats());
+                l1d.merge(core.l1d.stats());
+            }
+            per_node.push(node_bd);
+            breakdown.merge(&node_bd);
+            misses.merge(&node.misses);
+            rac.merge(&node.rac_stats);
+            upgrades += node.upgrades;
+        }
+        let transactions = self
+            .txn_source
+            .as_ref()
+            .map_or(0, |s| s.transactions_completed() - self.txn_baseline);
+        SimReport {
+            config_summary: self.summary.clone(),
+            breakdown,
+            per_node,
+            misses,
+            directory: *self.dir.stats(),
+            l1i,
+            l1d,
+            rac,
+            upgrades,
+            transactions,
+            refs_per_node,
+        }
+    }
+
+    // ---- the per-reference pipeline --------------------------------------
+
+    fn access(&mut self, n: usize, c: usize, r: MemRef) {
+        let line = r.line_addr(LINE_SIZE);
+        let is_ifetch = r.access.is_instruction();
+        let write = r.access.is_write();
+
+        if is_ifetch {
+            let core = &mut self.nodes[n].cores[c];
+            core.timing.retire_instruction(&mut core.bd);
+        }
+
+        // L1.
+        let l1_hit = {
+            let core = &mut self.nodes[n].cores[c];
+            let l1 = if is_ifetch { &mut core.l1i } else { &mut core.l1d };
+            l1.access(line, write).is_hit()
+        };
+        if l1_hit {
+            if write {
+                self.ensure_ownership(n, c, line);
+            }
+            return;
+        }
+
+        // L2 (presence/recency only; dirtiness is managed by the
+        // coherence flow below).
+        let l2_hit = self.nodes[n].l2.access(line, false).is_hit();
+        if l2_hit {
+            if write {
+                self.ensure_ownership(n, c, line);
+            }
+            let core = &mut self.nodes[n].cores[c];
+            core.timing.stall(StallClass::L2Hit, self.latencies.l2_hit, &mut core.bd);
+            let l1 = if is_ifetch { &mut core.l1i } else { &mut core.l1d };
+            let _ = l1.insert(line, write);
+            return;
+        }
+
+        self.l2_miss(n, c, r, line);
+    }
+
+    /// A store touched a line the node caches: if the L2 copy is not
+    /// modified, obtain ownership (invalidate other sharers).
+    ///
+    /// Cost model: a purely local ownership update (home here, nobody to
+    /// invalidate) is free; otherwise the store stalls for a local or
+    /// 2-hop directory transaction. Upgrades are counted separately from
+    /// L2 misses, as in the paper.
+    fn ensure_ownership(&mut self, n: usize, c: usize, line: u64) {
+        if self.nodes[n].l2.is_dirty(line) {
+            return;
+        }
+        let out = self.dir.write_miss(line, n as NodeId);
+        debug_assert!(
+            out.previous_owner.is_none(),
+            "a cached line cannot be modified elsewhere (line {line:#x})"
+        );
+        self.invalidate_nodes(out.invalidate, line);
+        let node = &mut self.nodes[n];
+        node.l2.mark_dirty(line);
+        node.upgrades += 1;
+        let local = out.home == n as NodeId;
+        if local && out.invalidate.is_empty() {
+            return; // purely local ownership update
+        }
+        let (class, latency) = if local {
+            (StallClass::Local, self.latencies.local)
+        } else {
+            (StallClass::RemoteClean, self.latencies.remote_clean)
+        };
+        let core = &mut node.cores[c];
+        core.timing.stall(class, latency, &mut core.bd);
+    }
+
+    fn l2_miss(&mut self, n: usize, c: usize, r: MemRef, line: u64) {
+        let is_ifetch = r.access.is_instruction();
+        let write = r.access.is_write();
+
+        // OS-replicated instruction pages: every node has a private local
+        // copy; no coherence involvement.
+        if is_ifetch && self.replicate_instructions {
+            let node = &mut self.nodes[n];
+            let core = &mut node.cores[c];
+            core.timing.stall(StallClass::Local, self.latencies.local, &mut core.bd);
+            node.misses.instr_local += 1;
+            self.fill(n, c, line, false, is_ifetch, write);
+            return;
+        }
+
+        let home = self.dir.home(line);
+        let remote_home = home != n as NodeId;
+
+        // Remote access cache: probed for remote lines after an L2 miss.
+        if remote_home && self.nodes[n].rac.is_some() {
+            let rac_hit = self
+                .nodes[n]
+                .rac
+                .as_mut()
+                .expect("rac checked above")
+                .access(line, false)
+                .is_hit();
+            if rac_hit {
+                self.rac_hit(n, c, line, is_ifetch, write);
+                return;
+            }
+            self.nodes[n].rac_stats.misses += 1;
+        }
+
+        // Directory transaction.
+        let (source, cold, downgraded, invalidate, previous_owner) = if write {
+            let out = self.dir.write_miss(line, n as NodeId);
+            (out.source, out.cold, None, out.invalidate, out.previous_owner)
+        } else {
+            let out = self.dir.read_miss(line, n as NodeId);
+            (out.source, out.cold, out.downgraded_owner, NodeSet::empty(), None)
+        };
+
+        // Remote-side actions.
+        if let Some(owner) = downgraded {
+            self.downgrade_owner(owner, line, source);
+        }
+        if let Some(owner) = previous_owner {
+            self.invalidate_all_at(owner as usize, line);
+        }
+        self.invalidate_nodes(invalidate, line);
+
+        // Classify, charge, count.
+        let (class, latency) = match source {
+            FillSource::OwnerCache { in_rac, .. } => (
+                StallClass::RemoteDirty,
+                if in_rac { self.latencies.remote_dirty_in_rac } else { self.latencies.remote_dirty },
+            ),
+            FillSource::Home => {
+                if remote_home {
+                    (StallClass::RemoteClean, self.latencies.remote_clean)
+                } else {
+                    (StallClass::Local, self.latencies.local)
+                }
+            }
+        };
+        {
+            let node = &mut self.nodes[n];
+            let core = &mut node.cores[c];
+            core.timing.stall(class, latency, &mut core.bd);
+            match (is_ifetch, class) {
+                (true, StallClass::Local) => node.misses.instr_local += 1,
+                (true, _) => node.misses.instr_remote += 1,
+                (false, StallClass::Local) => node.misses.data_local += 1,
+                (false, StallClass::RemoteClean) => node.misses.data_remote_clean += 1,
+                (false, _) => node.misses.data_remote_dirty += 1,
+            }
+            if cold {
+                node.misses.cold += 1;
+            }
+        }
+
+        self.fill(n, c, line, write, is_ifetch, write);
+
+        // Fill-on-fetch into the RAC for remote lines (clean copy; a later
+        // dirty L2 eviction refreshes it).
+        if remote_home && self.nodes[n].rac.is_some() && !write {
+            self.rac_fill(n, line);
+        }
+    }
+
+    /// Service an L2 miss from the node's own RAC (data lives in local
+    /// memory: local-latency, counted as a local miss).
+    fn rac_hit(&mut self, n: usize, c: usize, line: u64, is_ifetch: bool, write: bool) {
+        let parked_dirty = matches!(
+            self.dir.state(line),
+            LineState::Modified { owner, in_rac: true } if owner == n as NodeId
+        );
+        {
+            let node = &mut self.nodes[n];
+            node.rac_stats.hits += 1;
+            if is_ifetch {
+                node.misses.instr_local += 1;
+            } else {
+                node.misses.data_local += 1;
+            }
+        }
+        if parked_dirty {
+            // Our own modified line comes back from the RAC into the L2.
+            self.dir.owner_refetched_from_rac(line, n as NodeId);
+            self.nodes[n].rac.as_mut().expect("rac exists").invalidate(line);
+            let core = &mut self.nodes[n].cores[c];
+            core.timing.stall(StallClass::Local, self.latencies.rac_hit, &mut core.bd);
+            self.fill(n, c, line, true, is_ifetch, write);
+            return;
+        }
+        if write {
+            // Clean RAC copy but the store needs ownership: 2-hop upgrade
+            // at the (remote) home, data supplied locally by the RAC.
+            let out = self.dir.write_miss(line, n as NodeId);
+            debug_assert!(out.previous_owner.is_none(), "valid RAC copy excludes a remote owner");
+            self.invalidate_nodes(out.invalidate, line);
+            let node = &mut self.nodes[n];
+            node.upgrades += 1;
+            let core = &mut node.cores[c];
+            core.timing.stall(StallClass::RemoteClean, self.latencies.remote_clean, &mut core.bd);
+            self.fill(n, c, line, true, is_ifetch, write);
+            return;
+        }
+        let core = &mut self.nodes[n].cores[c];
+        core.timing.stall(StallClass::Local, self.latencies.rac_hit, &mut core.bd);
+        self.fill(n, c, line, false, is_ifetch, write);
+    }
+
+    /// Install a line into the L2 (and requesting L1), handling the L2
+    /// victim: inclusion invalidations, dirty writeback or RAC parking.
+    fn fill(&mut self, n: usize, c: usize, line: u64, dirty: bool, is_ifetch: bool, write: bool) {
+        let victim = self.nodes[n].l2.insert(line, dirty);
+        if let Some(v) = victim {
+            for core in &mut self.nodes[n].cores {
+                core.l1i.invalidate(v.line);
+                core.l1d.invalidate(v.line);
+            }
+            if v.dirty {
+                let victim_home = self.dir.home(v.line);
+                let parkable = victim_home != n as NodeId && self.nodes[n].rac.is_some();
+                if parkable {
+                    let rac = self.nodes[n].rac.as_mut().expect("rac exists");
+                    if rac.mark_dirty(v.line) {
+                        self.dir.owner_moved_to_rac(v.line, n as NodeId);
+                    } else if let Some(rv) = rac.insert(v.line, true) {
+                        self.dir.owner_moved_to_rac(v.line, n as NodeId);
+                        if rv.dirty {
+                            self.dir.writeback(rv.line, n as NodeId);
+                        }
+                    } else {
+                        self.dir.owner_moved_to_rac(v.line, n as NodeId);
+                    }
+                } else {
+                    self.dir.writeback(v.line, n as NodeId);
+                }
+            }
+        }
+        let core = &mut self.nodes[n].cores[c];
+        let l1 = if is_ifetch { &mut core.l1i } else { &mut core.l1d };
+        let _ = l1.insert(line, write);
+    }
+
+    /// Install a clean copy of a freshly fetched remote line into the RAC.
+    fn rac_fill(&mut self, n: usize, line: u64) {
+        let rac = self.nodes[n].rac.as_mut().expect("caller checked rac");
+        if rac.contains(line) {
+            return;
+        }
+        if let Some(rv) = rac.insert(line, false) {
+            if rv.dirty {
+                self.dir.writeback(rv.line, n as NodeId);
+            }
+        }
+    }
+
+    /// A remote read found this node's dirty copy: downgrade M -> S (the
+    /// protocol writes the data back to the home as part of the 3-hop
+    /// transaction).
+    fn downgrade_owner(&mut self, owner: NodeId, line: u64, source: FillSource) {
+        let in_rac = matches!(source, FillSource::OwnerCache { in_rac: true, .. });
+        let node = &mut self.nodes[owner as usize];
+        if in_rac {
+            let cleaned = node.rac.as_mut().map(|r| r.clean(line)).unwrap_or(false);
+            debug_assert!(cleaned, "directory said the owner's copy is in its RAC");
+        } else {
+            let cleaned = node.l2.clean(line);
+            debug_assert!(cleaned, "directory said the owner's copy is in its L2");
+        }
+    }
+
+    /// Checks the coherence invariants of the whole machine, returning a
+    /// description of the first violation found. Used by property tests;
+    /// O(total cache capacity + directory size).
+    ///
+    /// Invariants:
+    /// 1. `Modified{owner, in_rac: false}` ⇒ the owner's L2 holds the
+    ///    line dirty.
+    /// 2. `Modified{owner, in_rac: true}` ⇒ the owner's RAC holds the
+    ///    line dirty.
+    /// 3. A line not `Modified` is dirty in no L2 and no RAC.
+    /// 4. L1 contents are a subset of the L2 (inclusion).
+    pub fn verify_coherence(&self) -> Result<(), String> {
+        for (line, state) in self.dir.iter() {
+            match state {
+                LineState::Modified { owner, in_rac: false } => {
+                    if !self.nodes[owner as usize].l2.is_dirty(line) {
+                        return Err(format!(
+                            "line {line:#x}: directory says M at node {owner} (L2) but L2 copy is not dirty"
+                        ));
+                    }
+                }
+                LineState::Modified { owner, in_rac: true } => {
+                    let ok = self.nodes[owner as usize]
+                        .rac
+                        .as_ref()
+                        .map(|r| r.is_dirty(line))
+                        .unwrap_or(false);
+                    if !ok {
+                        return Err(format!(
+                            "line {line:#x}: directory says M at node {owner} (RAC) but RAC copy is not dirty"
+                        ));
+                    }
+                }
+                LineState::Shared(_) | LineState::Uncached => {
+                    for (n, node) in self.nodes.iter().enumerate() {
+                        if node.l2.is_dirty(line) {
+                            return Err(format!(
+                                "line {line:#x}: {state:?} in directory but dirty in node {n}'s L2"
+                            ));
+                        }
+                        if node.rac.as_ref().map(|r| r.is_dirty(line)).unwrap_or(false) {
+                            return Err(format!(
+                                "line {line:#x}: {state:?} in directory but dirty in node {n}'s RAC"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            for core in &node.cores {
+                for line in core.l1i.resident_lines().chain(core.l1d.resident_lines()) {
+                    if !node.l2.contains(line) {
+                        return Err(format!(
+                            "line {line:#x}: present in node {n}'s L1 but not its L2 (inclusion violated)"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn invalidate_nodes(&mut self, set: NodeSet, line: u64) {
+        for m in set {
+            self.invalidate_all_at(m as usize, line);
+        }
+    }
+
+    fn invalidate_all_at(&mut self, m: usize, line: u64) {
+        let node = &mut self.nodes[m];
+        for core in &mut node.cores {
+            core.l1i.invalidate(line);
+            core.l1d.invalidate(line);
+        }
+        node.l2.invalidate(line);
+        if let Some(rac) = &mut node.rac {
+            rac.invalidate(line);
+        }
+    }
+}
+
+impl<S> std::fmt::Debug for Simulation<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("summary", &self.summary)
+            .field("nodes", &self.nodes.len())
+            .field("refs_run", &self.refs_run)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csim_config::{CacheGeometry, IntegrationLevel, RacConfig, SystemConfig};
+    use csim_trace::{ExecMode, MemRef, SliceStream};
+
+    const LPP: u64 = PAGE_SIZE / LINE_SIZE; // lines per page = 128
+
+    /// Byte address of a line homed at `home` (given `n` nodes) with a
+    /// distinguishing index `i`.
+    fn addr_homed(home: u64, i: u64, n_nodes: u64) -> u64 {
+        ((i * n_nodes + home) * LPP) * LINE_SIZE
+    }
+
+    fn tiny_cfg(n: usize) -> SystemConfig {
+        // Small caches so tests can force evictions: 1 KB 1-way L1s,
+        // 8 KB 2-way off-chip L2.
+        let l1 = CacheGeometry::new(1024, 1, 64).unwrap();
+        let mut b = SystemConfig::builder();
+        b.nodes(n).l1(l1).l2_off_chip(8192, 2);
+        b.build().unwrap()
+    }
+
+    fn load(a: u64) -> MemRef {
+        MemRef::load(a, ExecMode::User)
+    }
+    fn store(a: u64) -> MemRef {
+        MemRef::store(a, ExecMode::User)
+    }
+    fn ifetch(a: u64) -> MemRef {
+        MemRef::ifetch(a, ExecMode::User)
+    }
+
+    #[test]
+    fn uniprocessor_load_miss_then_hits() {
+        let cfg = tiny_cfg(1);
+        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&[load(0)])]);
+        let rep = sim.run(10);
+        // First access misses to local memory; the rest hit in L1.
+        assert_eq!(rep.misses.total(), 1);
+        assert_eq!(rep.misses.data_local, 1);
+        assert_eq!(rep.misses.cold, 1);
+        assert_eq!(rep.breakdown.local_cycles, cfg.latencies().local as f64);
+        assert_eq!(rep.breakdown.l2_hit_cycles, 0.0);
+    }
+
+    #[test]
+    fn l1_conflict_produces_l2_hits() {
+        let cfg = tiny_cfg(1);
+        // Two lines that conflict in a 1 KB direct-mapped L1 (16 sets)
+        // but coexist in the 2-way L2.
+        let a = 0u64;
+        let b = 16 * 64;
+        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&[load(a), load(b)])]);
+        sim.warm_up(4);
+        let rep = sim.run(10);
+        assert_eq!(rep.misses.total(), 0, "both lines live in the L2");
+        // Every access after warmup alternates and hits L2, not L1.
+        assert_eq!(rep.breakdown.l2_hit_cycles, 10.0 * cfg.latencies().l2_hit as f64);
+    }
+
+    #[test]
+    fn instructions_count_busy_cycles() {
+        let cfg = tiny_cfg(1);
+        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&[ifetch(0)])]);
+        let rep = sim.run(100);
+        assert_eq!(rep.breakdown.instructions, 100);
+        assert_eq!(rep.breakdown.busy_cycles, 100.0);
+        assert_eq!(rep.misses.instr_local, 1);
+    }
+
+    #[test]
+    fn producer_consumer_is_a_three_hop_miss() {
+        let cfg = tiny_cfg(2);
+        let a = addr_homed(0, 1, 2); // homed at node 0
+        // Node 0 writes the line, node 1 reads it.
+        let s0 = SliceStream::cycle(&[store(a)]);
+        let s1 = SliceStream::cycle(&[load(a)]);
+        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let rep = sim.run(1);
+        // Node 0: cold write miss to its local home. Node 1: 3-hop dirty.
+        assert_eq!(rep.per_node[0].local_cycles, cfg.latencies().local as f64);
+        assert_eq!(rep.per_node[1].remote_dirty_cycles, cfg.latencies().remote_dirty as f64);
+        assert_eq!(rep.misses.data_remote_dirty, 1);
+        assert_eq!(rep.directory.three_hop_fills, 1);
+        assert_eq!(rep.directory.downgrades, 1);
+    }
+
+    #[test]
+    fn migratory_line_ping_pongs_as_dirty_misses() {
+        let cfg = tiny_cfg(2);
+        let a = addr_homed(0, 3, 2);
+        let s0 = SliceStream::cycle(&[store(a)]);
+        let s1 = SliceStream::cycle(&[store(a)]);
+        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        sim.warm_up(1);
+        let rep = sim.run(10);
+        // Every store misses and finds the other node's dirty copy.
+        assert_eq!(rep.misses.data_remote_dirty, 20);
+        assert_eq!(rep.misses.total(), 20);
+    }
+
+    #[test]
+    fn read_shared_line_hits_everywhere_after_first_fetch() {
+        let cfg = tiny_cfg(4);
+        let a = addr_homed(2, 1, 4);
+        let streams: Vec<_> = (0..4).map(|_| SliceStream::cycle(&[load(a)])).collect();
+        let mut sim = Simulation::new(&cfg, vec![
+            streams[0].clone(),
+            streams[1].clone(),
+            streams[2].clone(),
+            streams[3].clone(),
+        ]);
+        sim.warm_up(1);
+        let rep = sim.run(50);
+        assert_eq!(rep.misses.total(), 0, "read sharing costs nothing after the fetch");
+    }
+
+    #[test]
+    fn store_to_shared_line_upgrades_and_invalidates() {
+        let cfg = tiny_cfg(2);
+        let a = addr_homed(0, 1, 2);
+        let s0 = SliceStream::cycle(&[load(a), store(a)]);
+        let s1 = SliceStream::cycle(&[load(a), load(a)]);
+        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let rep = sim.run(2);
+        // Node 0 read (cold, local), node 1 read (2-hop), node 0 store
+        // (upgrade invalidating node 1).
+        assert_eq!(rep.upgrades, 1);
+        assert_eq!(rep.directory.invalidations_sent, 1);
+        // The upgrade is not counted as an L2 miss...
+        assert_eq!(rep.misses.total(), 3, "two initial reads + node 1 re-read after inval");
+    }
+
+    #[test]
+    fn local_upgrade_with_no_sharers_is_free() {
+        let cfg = tiny_cfg(1);
+        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&[load(0), store(0)])]);
+        let rep = sim.run(5);
+        assert_eq!(rep.upgrades, 1, "first store upgrades; later stores own the line");
+        // No stall was charged for the upgrade: only the initial cold
+        // fetch contributes.
+        assert_eq!(rep.breakdown.local_cycles, cfg.latencies().local as f64);
+    }
+
+    #[test]
+    fn writeback_turns_dirty_misses_into_clean_misses() {
+        let cfg = tiny_cfg(2);
+        // Node 0 dirties a line homed at node 1, then streams enough
+        // conflicting lines through its tiny L2 to evict it (writeback).
+        let a = addr_homed(1, 0, 2);
+        let mut refs0 = vec![store(a)];
+        // 8 KB 2-way L2 = 64 sets; lines a+64*sets*k conflict with a.
+        for k in 1..=4 {
+            refs0.push(load(a + 64 * 64 * k));
+        }
+        refs0.push(load(addr_homed(0, 50, 2))); // idle filler
+        let s0 = SliceStream::cycle(&refs0);
+        let s1 = SliceStream::cycle(&[load(addr_homed(1, 60, 2))]);
+        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        sim.run(6);
+        // After node 0's eviction, the line is clean at its home: node 1
+        // reading it now is a 2-hop (here: local-home for node 1) miss,
+        // not a 3-hop.
+        let s1b = SliceStream::cycle(&[load(a)]);
+        let mut streams = vec![SliceStream::cycle(&[load(addr_homed(0, 50, 2))]), s1b];
+        let _ = &mut streams;
+        // Drive node 1's read through the same simulation by swapping its
+        // stream is not supported; instead check directory state directly.
+        assert_eq!(sim.dir.state(a / 64), LineState::Uncached, "dirty eviction wrote back home");
+        assert!(sim.dir.stats().writebacks >= 1);
+    }
+
+    #[test]
+    fn l2_eviction_invalidates_l1_inclusion() {
+        let cfg = tiny_cfg(1);
+        // Fill one L2 set (2-way, 64 sets) with 3 conflicting lines.
+        let a = 0u64;
+        let b = 64 * 64;
+        let c = 2 * 64 * 64;
+        let refs = [load(a), load(b), load(c), load(a)];
+        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&refs)]);
+        let rep = sim.run(4);
+        // `a` was evicted from L2 by `c` (LRU), so the final load of `a`
+        // must miss again even though the L1 could still have held it.
+        assert_eq!(rep.misses.total(), 4);
+    }
+
+    #[test]
+    fn replication_makes_instruction_misses_local() {
+        let l1 = CacheGeometry::new(1024, 1, 64).unwrap();
+        let mut b = SystemConfig::builder();
+        b.nodes(2).l1(l1).l2_off_chip(8192, 2).replicate_instructions(true);
+        let cfg = b.build().unwrap();
+        // An instruction line homed at node 0, fetched by node 1.
+        let a = addr_homed(0, 1, 2);
+        let s0 = SliceStream::cycle(&[load(addr_homed(0, 9, 2))]);
+        let s1 = SliceStream::cycle(&[ifetch(a)]);
+        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let rep = sim.run(1);
+        assert_eq!(rep.misses.instr_local, 1);
+        assert_eq!(rep.misses.instr_remote, 0);
+        assert_eq!(rep.per_node[1].local_cycles, cfg.latencies().local as f64);
+    }
+
+    #[test]
+    fn without_replication_remote_instructions_are_two_hop() {
+        let cfg = tiny_cfg(2);
+        let a = addr_homed(0, 1, 2);
+        let s0 = SliceStream::cycle(&[load(addr_homed(0, 9, 2))]);
+        let s1 = SliceStream::cycle(&[ifetch(a)]);
+        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let rep = sim.run(1);
+        assert_eq!(rep.misses.instr_remote, 1);
+    }
+
+    fn rac_cfg() -> SystemConfig {
+        let l1 = CacheGeometry::new(1024, 1, 64).unwrap();
+        let rac = RacConfig { geometry: CacheGeometry::new(16384, 2, 64).unwrap() };
+        let mut b = SystemConfig::builder();
+        b.nodes(2)
+            .l1(l1)
+            .integration(IntegrationLevel::FullyIntegrated)
+            .l2_sram(8192, 2)
+            .rac(rac);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rac_turns_refetches_of_remote_lines_local() {
+        let cfg = rac_cfg();
+        // Node 0 reads a remote line, then four conflicting lines (also
+        // remote) to evict it from its 8 KB L2, then re-reads it.
+        let a = addr_homed(1, 0, 2);
+        let mut refs = vec![load(a)];
+        for k in 1..=2 {
+            refs.push(load(a + 64 * 64 * k)); // same L2 set, also homed remotely
+        }
+        refs.push(load(a));
+        let s0 = SliceStream::cycle(&refs);
+        let s1 = SliceStream::cycle(&[load(addr_homed(1, 70, 2))]);
+        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let rep = sim.run(4);
+        // The re-read hit the RAC: counted local, charged rac_hit.
+        assert_eq!(rep.rac.hits, 1);
+        assert!(rep.per_node[0].local_cycles >= cfg.latencies().rac_hit as f64);
+    }
+
+    #[test]
+    fn dirty_lines_park_in_the_rac_and_stay_owned() {
+        let cfg = rac_cfg();
+        let a = addr_homed(1, 0, 2);
+        // Node 0 dirties the remote line, then evicts it via conflicts.
+        let mut refs = vec![store(a)];
+        for k in 1..=2 {
+            refs.push(load(a + 64 * 64 * k));
+        }
+        let s0 = SliceStream::cycle(&refs);
+        let s1 = SliceStream::cycle(&[load(addr_homed(1, 70, 2))]);
+        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        sim.run(3);
+        assert_eq!(
+            sim.dir.state(a / 64),
+            LineState::Modified { owner: 0, in_rac: true },
+            "dirty victim parks in the RAC instead of writing back"
+        );
+        assert!(sim.dir.stats().writebacks == 0);
+    }
+
+    #[test]
+    fn remote_read_of_rac_parked_line_costs_rac_dirty_latency() {
+        let cfg = rac_cfg();
+        let a = addr_homed(0, 1, 2); // homed at node 0, so node 1 parks it
+        let mut refs1 = vec![store(a)];
+        for k in 1..=2 {
+            refs1.push(load(a + 64 * 64 * k + 64 * 128)); // remote-homed conflicts
+        }
+        refs1.push(load(addr_homed(1, 90, 2)));
+        let s1 = SliceStream::cycle(&refs1);
+        let s0 = SliceStream::cycle(&[
+            load(addr_homed(0, 80, 2)),
+            load(addr_homed(0, 80, 2)),
+            load(addr_homed(0, 80, 2)),
+            load(a),
+        ]);
+        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let rep = sim.run(4);
+        assert_eq!(
+            rep.per_node[0].remote_dirty_cycles,
+            cfg.latencies().remote_dirty_in_rac as f64,
+            "dirty data in a remote RAC costs 250 ns, not 200 ns"
+        );
+    }
+
+    #[test]
+    fn reset_stats_clears_counts_but_keeps_cache_contents() {
+        let cfg = tiny_cfg(1);
+        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&[load(0)])]);
+        sim.warm_up(5);
+        let rep = sim.run(5);
+        assert_eq!(rep.misses.total(), 0, "warmup kept the line resident");
+        assert_eq!(rep.breakdown.total_cycles(), 0.0, "pure L1 hits cost nothing");
+    }
+
+    #[test]
+    fn report_aggregates_per_node() {
+        let cfg = tiny_cfg(2);
+        let s0 = SliceStream::cycle(&[ifetch(addr_homed(0, 5, 2))]);
+        let s1 = SliceStream::cycle(&[ifetch(addr_homed(1, 6, 2))]);
+        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let rep = sim.run(10);
+        assert_eq!(rep.per_node.len(), 2);
+        assert_eq!(rep.breakdown.instructions, 20);
+        assert_eq!(
+            rep.breakdown.busy_cycles,
+            rep.per_node[0].busy_cycles + rep.per_node[1].busy_cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one reference stream per core")]
+    fn stream_count_mismatch_panics() {
+        let cfg = tiny_cfg(2);
+        let _ = Simulation::new(&cfg, vec![SliceStream::cycle(&[load(0)])]);
+    }
+
+    #[test]
+    fn cmp_cores_share_the_chip_l2() {
+        // Two cores on one chip: core 0 writes a line, core 1 reads it.
+        // The read misses core 1's L1 but hits the shared L2 — no
+        // coherence traffic, no remote miss.
+        let l1 = CacheGeometry::new(1024, 1, 64).unwrap();
+        let mut b = SystemConfig::builder();
+        b.nodes(1).cores_per_node(2).l1(l1).l2_off_chip(8192, 2);
+        let cfg = b.build().unwrap();
+        let s0 = SliceStream::cycle(&[store(0)]);
+        let s1 = SliceStream::cycle(&[load(0)]);
+        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let rep = sim.run(4);
+        // One cold write miss by core 0; core 1's first read is an L2 hit.
+        assert_eq!(rep.misses.total(), 1);
+        assert_eq!(rep.per_node.len(), 1);
+        assert!(rep.breakdown.l2_hit_cycles > 0.0, "core 1 must hit the shared L2");
+        assert_eq!(rep.breakdown.remote_cycles(), 0.0);
+        sim.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn cmp_cross_chip_sharing_is_still_three_hop() {
+        let l1 = CacheGeometry::new(1024, 1, 64).unwrap();
+        let mut b = SystemConfig::builder();
+        b.nodes(2).cores_per_node(2).l1(l1).l2_off_chip(8192, 2);
+        let cfg = b.build().unwrap();
+        let a = addr_homed(0, 1, 2);
+        // Chip 0 (cores 0,1) writes; chip 1 (cores 2,3) reads.
+        let streams = vec![
+            SliceStream::cycle(&[store(a)]),
+            SliceStream::cycle(&[load(addr_homed(0, 9, 2))]),
+            SliceStream::cycle(&[load(a)]),
+            SliceStream::cycle(&[load(addr_homed(1, 9, 2))]),
+        ];
+        let mut sim = Simulation::new(&cfg, streams);
+        let rep = sim.run(1);
+        assert_eq!(rep.misses.data_remote_dirty, 1, "cross-chip read finds dirty data");
+        sim.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn cmp_l2_eviction_invalidates_all_cores_l1s() {
+        let l1 = CacheGeometry::new(1024, 1, 64).unwrap();
+        let mut b = SystemConfig::builder();
+        b.nodes(1).cores_per_node(2).l1(l1).l2_off_chip(8192, 2);
+        let cfg = b.build().unwrap();
+        // Both cores load line a; then core 0 streams conflicting lines
+        // through the shared L2 set until a is evicted; core 1's re-read
+        // of a must then miss (its L1 copy was invalidated by inclusion).
+        let a = 0u64;
+        let s0 = SliceStream::cycle(&[load(a), load(64 * 64), load(2 * 64 * 64), load(3 * 64 * 64)]);
+        let s1 = SliceStream::cycle(&[load(a)]);
+        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let rep = sim.run(4);
+        // a was evicted by the third conflicting line; the 4th round's
+        // core-1 load of a misses again.
+        assert!(rep.misses.total() >= 5);
+        sim.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn cmp_oltp_runs_and_stays_coherent() {
+        let mut b = SystemConfig::builder();
+        b.nodes(2)
+            .cores_per_node(2)
+            .integration(IntegrationLevel::FullyIntegrated)
+            .l2_sram(2 << 20, 8);
+        let cfg = b.build().unwrap();
+        let mut sim = Simulation::with_oltp(&cfg, OltpParams::default()).unwrap();
+        sim.warm_up(30_000);
+        let rep = sim.run(30_000);
+        assert_eq!(rep.per_node.len(), 2);
+        assert!(rep.breakdown.instructions > 50_000, "four cores retire instructions");
+        sim.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn store_hitting_a_clean_rac_copy_upgrades_through_the_home() {
+        let cfg = rac_cfg();
+        let a = addr_homed(1, 0, 2); // remote line for node 0
+        // Node 0 reads `a` (fills L2 + RAC), evicts it from L2 via
+        // conflicts, then STORES it: the RAC supplies the data but
+        // ownership needs a 2-hop upgrade.
+        let mut refs = vec![load(a)];
+        for k in 1..=2 {
+            refs.push(load(a + 64 * 64 * k));
+        }
+        refs.push(store(a));
+        let s0 = SliceStream::cycle(&refs);
+        let s1 = SliceStream::cycle(&[load(addr_homed(1, 70, 2))]);
+        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let rep = sim.run(4);
+        assert_eq!(rep.rac.hits, 1, "the store's data came from the RAC");
+        assert_eq!(rep.upgrades, 1, "ownership required an upgrade");
+        assert_eq!(
+            sim.dir.state(a / 64),
+            LineState::Modified { owner: 0, in_rac: false },
+            "after the store the L2 holds the modified line"
+        );
+        sim.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn ooo_model_runs_inside_the_full_simulator() {
+        use csim_config::OooParams;
+        let l1 = CacheGeometry::new(1024, 1, 64).unwrap();
+        let mut b = SystemConfig::builder();
+        b.l1(l1).l2_off_chip(8192, 2).out_of_order(OooParams::paper());
+        let cfg = b.build().unwrap();
+        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&[ifetch(0)])]);
+        let rep = sim.run(100);
+        assert_eq!(rep.breakdown.instructions, 100);
+        assert!(
+            rep.breakdown.busy_cycles < 100.0,
+            "a 4-wide core must retire at better than CPI 1"
+        );
+    }
+
+    #[test]
+    fn remote_instruction_misses_count_as_i_rem() {
+        let cfg = tiny_cfg(2);
+        let a = addr_homed(1, 1, 2); // homed at node 1
+        let s0 = SliceStream::cycle(&[ifetch(a)]);
+        let s1 = SliceStream::cycle(&[load(addr_homed(1, 50, 2))]);
+        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let rep = sim.run(1);
+        assert_eq!(rep.misses.instr_remote, 1);
+        assert_eq!(rep.misses.instr_local, 0);
+        assert_eq!(
+            rep.per_node[0].remote_clean_cycles,
+            cfg.latencies().remote_clean as f64
+        );
+    }
+
+    #[test]
+    fn l2_mc_level_charges_higher_remote_clean_latency() {
+        // The Section 4 pathology: MC on-chip without the CC makes 2-hop
+        // misses slower (225 vs 175).
+        let l1 = CacheGeometry::new(1024, 1, 64).unwrap();
+        let mk = |level: IntegrationLevel| {
+            let mut b = SystemConfig::builder();
+            b.nodes(2).l1(l1).integration(level).l2_sram(8192, 2);
+            b.build().unwrap()
+        };
+        let a = addr_homed(1, 1, 2);
+        let run_one = |cfg: &SystemConfig| {
+            let s0 = SliceStream::cycle(&[load(a)]);
+            let s1 = SliceStream::cycle(&[load(addr_homed(1, 50, 2))]);
+            let mut sim = Simulation::new(cfg, vec![s0, s1]);
+            sim.run(1).per_node[0].remote_clean_cycles
+        };
+        let l2_only = run_one(&mk(IntegrationLevel::L2Integrated));
+        let l2_mc = run_one(&mk(IntegrationLevel::L2McIntegrated));
+        assert_eq!(l2_only, 175.0);
+        assert_eq!(l2_mc, 225.0);
+    }
+
+    #[test]
+    fn report_carries_config_summary_and_refs() {
+        let cfg = tiny_cfg(1);
+        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&[load(0)])]);
+        let rep = sim.run(7);
+        assert!(rep.config_summary.contains("1p"));
+        assert_eq!(rep.refs_per_node, 7);
+        assert_eq!(rep.transactions, 0, "no OLTP txn source for slice streams");
+    }
+
+    #[test]
+    fn rac_with_replication_and_cmp_stays_coherent() {
+        let mut b = SystemConfig::builder();
+        b.nodes(2)
+            .cores_per_node(2)
+            .integration(IntegrationLevel::FullyIntegrated)
+            .l2_sram(256 << 10, 4)
+            .rac(csim_config::RacConfig::paper())
+            .replicate_instructions(true);
+        let cfg = b.build().unwrap();
+        let mut sim = Simulation::with_oltp(&cfg, OltpParams::default()).unwrap();
+        sim.run(60_000);
+        sim.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn oltp_simulation_smoke() {
+        let cfg = SystemConfig::paper_base_uni();
+        let mut sim = Simulation::with_oltp(&cfg, OltpParams::default()).unwrap();
+        sim.warm_up(20_000);
+        let rep = sim.run(20_000);
+        assert!(rep.breakdown.instructions > 10_000);
+        assert!(rep.breakdown.total_cycles() > 0.0);
+        assert!(rep.misses.total() > 0);
+        assert_eq!(rep.misses.remote(), 0, "uniprocessor misses are all local");
+    }
+}

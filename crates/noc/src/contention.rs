@@ -1,0 +1,91 @@
+//! Link-contention inflation.
+//!
+//! The paper uses fixed latencies (an uncontended network); this helper
+//! supports sensitivity studies that relax the assumption. Each link is
+//! treated as an M/M/1 server: at utilization `rho` the expected
+//! residence time inflates by `1 / (1 - rho)`.
+
+use serde::{Deserialize, Serialize};
+
+/// M/M/1-style contention model for one link class.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Contention {
+    /// Utilization cap beyond which the model saturates (queueing theory
+    /// diverges at 1.0; real routers back-pressure first).
+    pub max_utilization: f64,
+}
+
+impl Default for Contention {
+    fn default() -> Self {
+        Contention { max_utilization: 0.95 }
+    }
+}
+
+impl Contention {
+    /// The latency inflation factor at link utilization `rho` (clamped
+    /// to `[0, max_utilization]`).
+    ///
+    /// ```
+    /// let c = csim_noc::Contention::default();
+    /// assert_eq!(c.inflation(0.0), 1.0);
+    /// assert!((c.inflation(0.5) - 2.0).abs() < 1e-12);
+    /// ```
+    pub fn inflation(&self, rho: f64) -> f64 {
+        let rho = rho.clamp(0.0, self.max_utilization);
+        1.0 / (1.0 - rho)
+    }
+
+    /// Inflates a base network latency for the given utilization.
+    pub fn inflate(&self, base_cycles: f64, rho: f64) -> f64 {
+        base_cycles * self.inflation(rho)
+    }
+
+    /// Link utilization implied by a per-node miss stream: `misses_per
+    /// _cycle` line-sized messages crossing `mean_hops` links of
+    /// `line_cycles` occupancy each, spread over `links_per_node` links.
+    pub fn utilization(
+        &self,
+        misses_per_cycle: f64,
+        mean_hops: f64,
+        line_cycles: f64,
+        links_per_node: f64,
+    ) -> f64 {
+        (misses_per_cycle * mean_hops * line_cycles / links_per_node.max(1.0))
+            .clamp(0.0, self.max_utilization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_links_add_nothing() {
+        let c = Contention::default();
+        assert_eq!(c.inflate(100.0, 0.0), 100.0);
+    }
+
+    #[test]
+    fn inflation_grows_convexly() {
+        let c = Contention::default();
+        let low = c.inflation(0.2);
+        let mid = c.inflation(0.5);
+        let high = c.inflation(0.8);
+        assert!(mid - low < high - mid, "M/M/1 queueing is convex");
+    }
+
+    #[test]
+    fn saturates_at_cap_instead_of_diverging() {
+        let c = Contention::default();
+        assert!(c.inflation(0.99).is_finite());
+        assert_eq!(c.inflation(2.0), c.inflation(0.95));
+    }
+
+    #[test]
+    fn utilization_from_miss_stream() {
+        let c = Contention::default();
+        // 10 misses per 1000 cycles, 1.7 hops, 4-cycle lines, 4 links.
+        let rho = c.utilization(0.01, 1.7, 4.0, 4.0);
+        assert!((rho - 0.017).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,48 @@
+//! Interconnect substrate: where the paper's latency numbers come from.
+//!
+//! The paper takes its memory latencies (Figure 3) as given — they are
+//! projections for a 0.18um Alpha 21364-class part whose coherence
+//! traffic crosses a 2D torus of point-to-point links (Figure 1B shows
+//! twelve 21364s in a 4x3 arrangement). This crate rebuilds that bottom
+//! layer:
+//!
+//! * [`Torus2D`] — the 21364-style torus: coordinates, wraparound
+//!   routing distance, average hop counts.
+//! * [`RouterParams`] / [`TechParams`] — per-hop router and link timing,
+//!   chip-crossing costs, SRAM/DRAM access times.
+//! * [`MessagePath`] — compose protocol transactions (request, forward,
+//!   data reply) into end-to-end latencies.
+//! * [`derive_latency_table`] — assemble the paper's Figure 3 rows from
+//!   those first principles. A unit test asserts every derived entry is
+//!   within ~15% of the paper's published number, demonstrating the
+//!   published table is the physically sensible consequence of the
+//!   stated technology assumptions.
+//! * [`Contention`] — an M/M/1-style inflation factor for loaded links,
+//!   for sensitivity studies beyond the paper's fixed-latency model.
+//!
+//! # Example
+//!
+//! ```
+//! use csim_config::IntegrationLevel;
+//! use csim_noc::{derive_latency_table, TechParams, Torus2D};
+//!
+//! let torus = Torus2D::new(4, 2); // 8 nodes as in the paper's MP runs
+//! let derived = derive_latency_table(
+//!     IntegrationLevel::FullyIntegrated, &TechParams::paper_018um(), &torus);
+//! // The paper's row is (15, 75, 150, 200); the derivation lands close.
+//! assert!((derived.l2_hit as i64 - 15).abs() <= 3);
+//! assert!((derived.remote_dirty as i64 - 200).abs() <= 30);
+//! ```
+
+mod contention;
+mod derive;
+mod router;
+mod topology;
+
+pub use contention::Contention;
+pub use derive::{
+    derive_latency_table, l2_hit_path, local_path, remote_clean_path, remote_dirty_path,
+    remote_dirty_path_description, MessagePath,
+};
+pub use router::{RouterParams, TechParams};
+pub use topology::Torus2D;

@@ -1,0 +1,120 @@
+//! Technology and router timing parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-hop router/link timing.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouterParams {
+    /// Router pipeline occupancy per hop (cycles).
+    pub router_cycles: f64,
+    /// Link traversal per hop (cycles) — the paper assumes direct-Rambus
+    /// style signaling at >4 GB/s per link pair.
+    pub link_cycles: f64,
+    /// Network-interface entry + exit processing per one-way transit.
+    pub ni_cycles: f64,
+}
+
+/// The full 0.18um technology assumption set behind the paper's Figure 3
+/// (IBM SA-27E class process, 1 GHz core, direct-Rambus memory).
+///
+/// All values are in 1 GHz cycles (= ns). These are plain data so
+/// sensitivity studies can perturb individual entries.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TechParams {
+    /// Crossing one chip boundary (driver + pad + board trace), one way.
+    pub chip_crossing: f64,
+    /// On-chip L2 tag lookup.
+    pub l2_tag: f64,
+    /// On-chip SRAM data array access.
+    pub sram_array_on_chip: f64,
+    /// On-chip embedded-DRAM data array access.
+    pub dram_array_on_chip: f64,
+    /// Off-chip SRAM data access (wave-pipelined, direct-mapped).
+    pub sram_array_off_chip: f64,
+    /// External set selection penalty for associative off-chip arrays.
+    pub external_set_select: f64,
+    /// L2 miss detection before the memory system is engaged.
+    pub l2_miss_detect: f64,
+    /// Memory-controller processing.
+    pub mc_processing: f64,
+    /// RDRAM row access.
+    pub rdram_access: f64,
+    /// Transferring a 64-byte line over the memory channel.
+    pub line_transfer: f64,
+    /// System-bus arbitration + transfer when the MC is off-chip.
+    pub system_bus: f64,
+    /// Directory lookup at the home (directory state in memory/ECC bits).
+    pub directory_lookup: f64,
+    /// Owner-side intervention: CC probe + L2 array read at the owner.
+    pub owner_probe: f64,
+    /// Sharing-writeback and acknowledgment coordination on 3-hop
+    /// transactions (the home's copy is updated as part of the reply).
+    pub dirty_coordination: f64,
+    /// Extra cost per off-chip coherence-controller traversal (request
+    /// must exit over the system bus to reach the CC).
+    pub off_chip_cc_penalty: f64,
+    /// Detour when an off-chip CC must fetch memory data through the
+    /// processor's integrated MC (the paper's Section 4 pathology).
+    pub cc_to_mc_detour: f64,
+    /// Additional slack of the unoptimized "Conservative Base" design,
+    /// applied to local and remote paths.
+    pub conservative_overhead: f64,
+    /// Router/link timing.
+    pub router: RouterParams,
+}
+
+impl TechParams {
+    /// The calibration matching the paper's stated 0.18um assumptions.
+    pub fn paper_018um() -> Self {
+        TechParams {
+            chip_crossing: 5.0,
+            l2_tag: 5.0,
+            sram_array_on_chip: 10.0,
+            dram_array_on_chip: 20.0,
+            sram_array_off_chip: 10.0,
+            external_set_select: 5.0,
+            l2_miss_detect: 10.0,
+            mc_processing: 10.0,
+            rdram_access: 45.0,
+            line_transfer: 10.0,
+            system_bus: 15.0,
+            directory_lookup: 10.0,
+            owner_probe: 25.0,
+            dirty_coordination: 40.0,
+            off_chip_cc_penalty: 25.0,
+            cc_to_mc_detour: 50.0,
+            conservative_overhead: 50.0,
+            router: RouterParams { router_cycles: 8.0, link_cycles: 8.0, ni_cycles: 10.0 },
+        }
+    }
+
+    /// One-way network transit time for the given hop count.
+    pub fn transit(&self, hops: f64) -> f64 {
+        self.router.ni_cycles + hops * (self.router.router_cycles + self.router.link_cycles)
+    }
+
+    /// Raw DRAM access through the (integrated) memory controller.
+    pub fn memory_access(&self) -> f64 {
+        self.mc_processing + self.rdram_access + self.line_transfer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters_compose_the_integrated_local_latency() {
+        let t = TechParams::paper_018um();
+        // 10 (miss detect) + 10 (MC) + 45 (RDRAM) + 10 (transfer) = 75,
+        // the paper's fully-integrated local latency.
+        assert_eq!(t.l2_miss_detect + t.memory_access(), 75.0);
+    }
+
+    #[test]
+    fn transit_scales_with_hops() {
+        let t = TechParams::paper_018um();
+        assert_eq!(t.transit(0.0), 10.0);
+        assert_eq!(t.transit(2.0), 10.0 + 32.0);
+    }
+}

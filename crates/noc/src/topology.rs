@@ -1,0 +1,148 @@
+//! 2D torus topology (the Alpha 21364 interconnect).
+
+use serde::{Deserialize, Serialize};
+
+/// A `width x height` 2D torus of nodes, each connected to four
+/// neighbours with wraparound (the 21364's network; Figure 1B of the
+/// paper shows a 4x3 instance).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Torus2D {
+    width: usize,
+    height: usize,
+}
+
+impl Torus2D {
+    /// Creates a torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "torus dimensions must be nonzero");
+        Torus2D { width, height }
+    }
+
+    /// A torus shaped for `n` nodes: the most square `w x h` factoring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn for_nodes(n: usize) -> Self {
+        assert!(n > 0, "need at least one node");
+        let mut best = (n, 1);
+        let mut w = 1;
+        while w * w <= n {
+            if n.is_multiple_of(w) {
+                best = (n / w, w);
+            }
+            w += 1;
+        }
+        Torus2D::new(best.0, best.1)
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Grid coordinates of a node id (row-major).
+    pub fn coords(&self, node: usize) -> (usize, usize) {
+        assert!(node < self.nodes(), "node {node} out of range");
+        (node % self.width, node / self.width)
+    }
+
+    fn ring_distance(a: usize, b: usize, len: usize) -> usize {
+        let d = a.abs_diff(b);
+        d.min(len - d)
+    }
+
+    /// Minimal hop count between two nodes (dimension-ordered routing
+    /// with wraparound).
+    pub fn hops(&self, from: usize, to: usize) -> usize {
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        Self::ring_distance(fx, tx, self.width) + Self::ring_distance(fy, ty, self.height)
+    }
+
+    /// Network diameter (worst-case hop count).
+    pub fn diameter(&self) -> usize {
+        self.width / 2 + self.height / 2
+    }
+
+    /// Average hop count from a node to a *different* node chosen
+    /// uniformly — the expected routing distance for interleaved homes.
+    pub fn mean_hops(&self) -> f64 {
+        let n = self.nodes();
+        if n == 1 {
+            return 0.0;
+        }
+        let total: usize = (0..n).map(|to| self.hops(0, to)).sum();
+        total as f64 / (n - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let t = Torus2D::new(4, 3);
+        assert_eq!(t.nodes(), 12);
+        assert_eq!(t.coords(0), (0, 0));
+        assert_eq!(t.coords(5), (1, 1));
+        assert_eq!(t.coords(11), (3, 2));
+    }
+
+    #[test]
+    fn wraparound_shortens_paths() {
+        let t = Torus2D::new(4, 1);
+        // 0 -> 3 is one hop backwards around the ring, not three forward.
+        assert_eq!(t.hops(0, 3), 1);
+        assert_eq!(t.hops(0, 2), 2);
+    }
+
+    #[test]
+    fn hops_are_symmetric_and_zero_on_self() {
+        let t = Torus2D::new(4, 2);
+        for a in 0..8 {
+            assert_eq!(t.hops(a, a), 0);
+            for b in 0..8 {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn mean_hops_for_the_paper_machine() {
+        // 8 nodes as a 4x2 torus: destinations from node 0 have hop
+        // counts 1,2,1 (x-ring) + 1 (y) each shifted: total 12 over 7
+        // neighbours.
+        let t = Torus2D::new(4, 2);
+        assert!((t.mean_hops() - 12.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn for_nodes_prefers_square_shapes() {
+        assert_eq!(Torus2D::for_nodes(8), Torus2D::new(4, 2));
+        assert_eq!(Torus2D::for_nodes(12), Torus2D::new(4, 3));
+        assert_eq!(Torus2D::for_nodes(16), Torus2D::new(4, 4));
+        assert_eq!(Torus2D::for_nodes(7), Torus2D::new(7, 1));
+    }
+
+    #[test]
+    fn diameter_bounds_hops() {
+        let t = Torus2D::new(4, 3);
+        for a in 0..12 {
+            for b in 0..12 {
+                assert!(t.hops(a, b) <= t.diameter());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_rejected() {
+        let _ = Torus2D::new(0, 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Execution-time breakdowns.
+
+use serde::{Deserialize, Serialize};
+
+/// Which bucket of the paper's execution-time breakdown a stall belongs
+/// to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StallClass {
+    /// An L1 miss that hit in the L2.
+    L2Hit,
+    /// A miss serviced by local memory (includes hits in the node's own
+    /// remote access cache, which lives in local memory).
+    Local,
+    /// A clean miss serviced by a remote home node (2-hop).
+    RemoteClean,
+    /// A miss serviced by dirty data in a remote cache (3-hop).
+    RemoteDirty,
+}
+
+/// Accumulated execution time, split into the paper's components.
+///
+/// All values are in processor cycles (equal to nanoseconds at the paper's
+/// 1 GHz clock). Passive data: fields are public and the struct is plain
+/// old data.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecBreakdown {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles the processor was busy issuing instructions ("CPU").
+    pub busy_cycles: f64,
+    /// Cycles stalled on L2 hits.
+    pub l2_hit_cycles: f64,
+    /// Cycles stalled on local-memory misses.
+    pub local_cycles: f64,
+    /// Cycles stalled on 2-hop remote misses.
+    pub remote_clean_cycles: f64,
+    /// Cycles stalled on 3-hop dirty remote misses.
+    pub remote_dirty_cycles: f64,
+}
+
+impl ExecBreakdown {
+    /// Adds `cycles` to the bucket selected by `class`.
+    #[inline]
+    pub fn charge(&mut self, class: StallClass, cycles: f64) {
+        match class {
+            StallClass::L2Hit => self.l2_hit_cycles += cycles,
+            StallClass::Local => self.local_cycles += cycles,
+            StallClass::RemoteClean => self.remote_clean_cycles += cycles,
+            StallClass::RemoteDirty => self.remote_dirty_cycles += cycles,
+        }
+    }
+
+    /// Total remote stall time (2-hop + 3-hop), the paper's "RemStall".
+    pub fn remote_cycles(&self) -> f64 {
+        self.remote_clean_cycles + self.remote_dirty_cycles
+    }
+
+    /// Total execution time in cycles.
+    pub fn total_cycles(&self) -> f64 {
+        self.busy_cycles
+            + self.l2_hit_cycles
+            + self.local_cycles
+            + self.remote_clean_cycles
+            + self.remote_dirty_cycles
+    }
+
+    /// Cycles per instruction; zero when no instructions retired.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.total_cycles() / self.instructions as f64
+        }
+    }
+
+    /// Fraction of time the processor was busy (the paper quotes ~17%
+    /// utilization for Base multiprocessor OLTP). Zero when empty.
+    pub fn cpu_utilization(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.busy_cycles / total
+        }
+    }
+
+    /// Accumulates another breakdown into this one (aggregation across
+    /// nodes).
+    pub fn merge(&mut self, other: &ExecBreakdown) {
+        self.instructions += other.instructions;
+        self.busy_cycles += other.busy_cycles;
+        self.l2_hit_cycles += other.l2_hit_cycles;
+        self.local_cycles += other.local_cycles;
+        self.remote_clean_cycles += other.remote_clean_cycles;
+        self.remote_dirty_cycles += other.remote_dirty_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_routes_to_the_right_bucket() {
+        let mut bd = ExecBreakdown::default();
+        bd.charge(StallClass::L2Hit, 25.0);
+        bd.charge(StallClass::Local, 100.0);
+        bd.charge(StallClass::RemoteClean, 175.0);
+        bd.charge(StallClass::RemoteDirty, 275.0);
+        assert_eq!(bd.l2_hit_cycles, 25.0);
+        assert_eq!(bd.local_cycles, 100.0);
+        assert_eq!(bd.remote_cycles(), 450.0);
+        assert_eq!(bd.total_cycles(), 575.0);
+    }
+
+    #[test]
+    fn cpi_and_utilization() {
+        let bd = ExecBreakdown {
+            instructions: 100,
+            busy_cycles: 100.0,
+            l2_hit_cycles: 300.0,
+            ..Default::default()
+        };
+        assert_eq!(bd.cpi(), 4.0);
+        assert_eq!(bd.cpu_utilization(), 0.25);
+    }
+
+    #[test]
+    fn empty_breakdown_is_all_zero() {
+        let bd = ExecBreakdown::default();
+        assert_eq!(bd.cpi(), 0.0);
+        assert_eq!(bd.cpu_utilization(), 0.0);
+        assert_eq!(bd.total_cycles(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = ExecBreakdown {
+            instructions: 10,
+            busy_cycles: 10.0,
+            local_cycles: 5.0,
+            ..Default::default()
+        };
+        let b = ExecBreakdown {
+            instructions: 20,
+            busy_cycles: 20.0,
+            remote_dirty_cycles: 7.0,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.instructions, 30);
+        assert_eq!(a.busy_cycles, 30.0);
+        assert_eq!(a.local_cycles, 5.0);
+        assert_eq!(a.remote_dirty_cycles, 7.0);
+    }
+}

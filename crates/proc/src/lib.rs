@@ -1,0 +1,38 @@
+//! Processor timing models for the chip-level-integration simulator.
+//!
+//! The paper uses two processor models: a single-issue pipelined in-order
+//! core (most results) and a 4-issue, 64-entry-window out-of-order core
+//! (Section 7). Both are *timing* models layered on the same memory-system
+//! simulation: the memory hierarchy decides what each reference costs, and
+//! the timing model decides how much of that cost the processor actually
+//! exposes as stall time.
+//!
+//! * [`InOrderTiming`] — one cycle of busy time per instruction; every
+//!   miss latency is exposed in full (stall-on-miss, sequentially
+//!   consistent).
+//! * [`OooTiming`] — an analytical latency-overlap model: the instruction
+//!   window hides a bounded number of cycles of each stall and a residual
+//!   overlap factor models the (limited) memory-level parallelism of
+//!   OLTP's dependent memory chains.
+//!
+//! Accumulated time lands in an [`ExecBreakdown`] whose components mirror
+//! the paper's stacked execution-time bars: CPU busy, L2 hit, local stall,
+//! and remote (2-hop / 3-hop) stall.
+//!
+//! # Example
+//!
+//! ```
+//! use csim_proc::{ExecBreakdown, InOrderTiming, StallClass, TimingModel};
+//!
+//! let mut t = InOrderTiming::new();
+//! let mut bd = ExecBreakdown::default();
+//! t.retire_instruction(&mut bd);
+//! t.stall(StallClass::L2Hit, 25, &mut bd);
+//! assert_eq!(bd.total_cycles(), 26.0);
+//! ```
+
+mod breakdown;
+mod timing;
+
+pub use breakdown::{ExecBreakdown, StallClass};
+pub use timing::{InOrderTiming, OooCalibration, OooTiming, Timing, TimingModel};

@@ -1,0 +1,33 @@
+//! Reporting utilities for the chip-level-integration study.
+//!
+//! The paper presents its results as stacked bar charts of *normalized
+//! execution time* (components: CPU, L2Hit, LocalStall, RemoteStall) and
+//! *normalized L2 misses* (components: instruction/data by service class),
+//! always scaled so the leftmost bar is 100. This crate provides the
+//! presentation layer used by the experiment harnesses:
+//!
+//! * [`Bar`] / [`BarChart`] — stacked bars with named components,
+//!   normalization and ASCII rendering.
+//! * [`TextTable`] — aligned text tables for paper-vs-measured summaries.
+//! * CSV emission for downstream plotting.
+//!
+//! # Example
+//!
+//! ```
+//! use csim_stats::{Bar, BarChart};
+//!
+//! let chart = BarChart::new("execution time")
+//!     .with_bar(Bar::new("Base").with("CPU", 30.0).with("Stall", 70.0))
+//!     .with_bar(Bar::new("All").with("CPU", 30.0).with("Stall", 40.0));
+//! let norm = chart.normalized_to_first();
+//! assert_eq!(norm.bars()[0].total(), 100.0);
+//! assert!((norm.bars()[1].total() - 70.0).abs() < 1e-9);
+//! println!("{}", norm.render(50));
+//! ```
+
+mod chart;
+pub mod svg;
+mod table;
+
+pub use chart::{Bar, BarChart};
+pub use table::TextTable;

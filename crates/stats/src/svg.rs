@@ -1,0 +1,165 @@
+//! SVG rendering of stacked bar charts.
+//!
+//! The ASCII charts are for terminals; this renderer writes the same
+//! [`BarChart`] as a self-contained SVG file for papers and READMEs. No
+//! external dependencies: the SVG is assembled by hand.
+
+use crate::chart::BarChart;
+
+/// Palette for stacked components (colorblind-safe Okabe-Ito subset).
+const COLORS: [&str; 8] =
+    ["#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442", "#999999"];
+
+const BAR_HEIGHT: f64 = 22.0;
+const BAR_GAP: f64 = 8.0;
+const LABEL_WIDTH: f64 = 130.0;
+const VALUE_WIDTH: f64 = 60.0;
+const PLOT_WIDTH: f64 = 420.0;
+const TOP: f64 = 40.0;
+const LEGEND_HEIGHT: f64 = 26.0;
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a chart as a standalone SVG document.
+///
+/// # Example
+///
+/// ```
+/// use csim_stats::{svg, Bar, BarChart};
+/// let chart = BarChart::new("demo")
+///     .with_bar(Bar::new("Base").with("CPU", 30.0).with("Stall", 70.0));
+/// let doc = svg::render(&chart);
+/// assert!(doc.starts_with("<svg"));
+/// assert!(doc.contains("Base"));
+/// ```
+pub fn render(chart: &BarChart) -> String {
+    let bars = chart.bars();
+    let max_total = bars.iter().map(|b| b.total()).fold(0.0_f64, f64::max).max(1e-12);
+    let height = TOP + bars.len() as f64 * (BAR_HEIGHT + BAR_GAP) + LEGEND_HEIGHT + 10.0;
+    let width = LABEL_WIDTH + PLOT_WIDTH + VALUE_WIDTH + 20.0;
+
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\" font-family=\"sans-serif\" font-size=\"12\">\n"
+    );
+    out.push_str(&format!(
+        "  <text x=\"10\" y=\"20\" font-size=\"14\" font-weight=\"bold\">{}</text>\n",
+        escape(chart.title())
+    ));
+
+    for (i, bar) in bars.iter().enumerate() {
+        let y = TOP + i as f64 * (BAR_HEIGHT + BAR_GAP);
+        out.push_str(&format!(
+            "  <text x=\"{:.0}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+            LABEL_WIDTH - 6.0,
+            y + BAR_HEIGHT * 0.72,
+            escape(bar.label())
+        ));
+        let mut x = LABEL_WIDTH;
+        for (idx, (name, value)) in bar.components().iter().enumerate() {
+            let w = value / max_total * PLOT_WIDTH;
+            if w > 0.0 {
+                out.push_str(&format!(
+                    "  <rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"{BAR_HEIGHT:.0}\" \
+                     fill=\"{}\"><title>{}: {:.1}</title></rect>\n",
+                    COLORS[idx % COLORS.len()],
+                    escape(name),
+                    value
+                ));
+            }
+            x += w;
+        }
+        out.push_str(&format!(
+            "  <text x=\"{:.1}\" y=\"{:.1}\">{:.1}</text>\n",
+            x + 6.0,
+            y + BAR_HEIGHT * 0.72,
+            bar.total()
+        ));
+    }
+
+    if let Some(first) = bars.first() {
+        let y = TOP + bars.len() as f64 * (BAR_HEIGHT + BAR_GAP) + 14.0;
+        let mut x = LABEL_WIDTH;
+        for (idx, (name, _)) in first.components().iter().enumerate() {
+            out.push_str(&format!(
+                "  <rect x=\"{x:.1}\" y=\"{:.1}\" width=\"10\" height=\"10\" fill=\"{}\"/>\n",
+                y - 9.0,
+                COLORS[idx % COLORS.len()]
+            ));
+            out.push_str(&format!(
+                "  <text x=\"{:.1}\" y=\"{y:.1}\">{}</text>\n",
+                x + 14.0,
+                escape(name)
+            ));
+            x += 14.0 + 7.0 * name.len() as f64 + 18.0;
+        }
+    }
+
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders the chart to a file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_file(chart: &BarChart, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    std::fs::write(path, render(chart))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::Bar;
+
+    fn chart() -> BarChart {
+        BarChart::new("t <1>")
+            .with_bar(Bar::new("a&b").with("CPU", 25.0).with("Stall", 75.0))
+            .with_bar(Bar::new("c").with("CPU", 25.0).with("Stall", 25.0))
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let doc = render(&chart());
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.trim_end().ends_with("</svg>"));
+        assert_eq!(doc.matches("<rect").count(), 4 + 2); // 4 segments + 2 legend swatches
+    }
+
+    #[test]
+    fn special_characters_are_escaped() {
+        let doc = render(&chart());
+        assert!(doc.contains("t &lt;1&gt;"));
+        assert!(doc.contains("a&amp;b"));
+        assert!(!doc.contains("a&b<"));
+    }
+
+    #[test]
+    fn widths_are_proportional() {
+        let doc = render(&chart());
+        // First bar total 100 spans the full plot width; second bar's
+        // stall segment is a quarter of it.
+        assert!(doc.contains("width=\"105.0\"")); // 25/100 * 420
+        assert!(doc.contains("width=\"315.0\"")); // 75/100 * 420
+    }
+
+    #[test]
+    fn empty_chart_renders_without_panic() {
+        let doc = render(&BarChart::new("empty"));
+        assert!(doc.contains("empty"));
+    }
+
+    #[test]
+    fn write_file_round_trips(){
+        let dir = std::env::temp_dir().join("csim_svg_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chart.svg");
+        write_file(&chart(), &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("</svg>"));
+        std::fs::remove_file(path).ok();
+    }
+}

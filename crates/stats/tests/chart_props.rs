@@ -1,0 +1,90 @@
+//! Property tests for the reporting layer.
+
+use proptest::prelude::*;
+
+use csim_stats::{Bar, BarChart, TextTable};
+
+fn bar_strategy() -> impl Strategy<Value = Vec<(String, f64)>> {
+    prop::collection::vec(("[a-z]{1,8}", 0.0f64..1e6), 1..6)
+}
+
+proptest! {
+    #[test]
+    fn normalization_sets_first_bar_to_100(
+        bars in prop::collection::vec(bar_strategy(), 1..8),
+    ) {
+        let mut chart = BarChart::new("t");
+        for (i, components) in bars.iter().enumerate() {
+            let mut bar = Bar::new(format!("b{i}"));
+            for (name, value) in components {
+                bar = bar.with(name.clone(), *value);
+            }
+            chart.push(bar);
+        }
+        let norm = chart.normalized_to_first();
+        let first_total = chart.bars()[0].total();
+        if first_total > 0.0 {
+            prop_assert!((norm.bars()[0].total() - 100.0).abs() < 1e-6);
+            // Ratios between bars are preserved.
+            for (orig, normed) in chart.bars().iter().zip(norm.bars()) {
+                let expected = orig.total() / first_total * 100.0;
+                prop_assert!((normed.total() - expected).abs() < 1e-6);
+            }
+        } else {
+            prop_assert_eq!(norm, chart);
+        }
+    }
+
+    #[test]
+    fn render_never_panics_and_shows_every_label(
+        bars in prop::collection::vec(bar_strategy(), 1..6),
+        width in 1usize..120,
+    ) {
+        let mut chart = BarChart::new("render");
+        for (i, components) in bars.iter().enumerate() {
+            let mut bar = Bar::new(format!("label{i}"));
+            for (name, value) in components {
+                bar = bar.with(name.clone(), *value);
+            }
+            chart.push(bar);
+        }
+        let s = chart.render(width);
+        for i in 0..bars.len() {
+            let label = format!("label{i}");
+            prop_assert!(s.contains(&label), "missing {}", label);
+        }
+    }
+
+    #[test]
+    fn csv_has_one_row_per_component(
+        bars in prop::collection::vec(bar_strategy(), 1..6),
+    ) {
+        let mut chart = BarChart::new("csv");
+        let mut component_count = 0;
+        for (i, components) in bars.iter().enumerate() {
+            let mut bar = Bar::new(format!("b{i}"));
+            for (name, value) in components {
+                bar = bar.with(name.clone(), *value);
+                component_count += 1;
+            }
+            chart.push(bar);
+        }
+        let csv = chart.to_csv();
+        prop_assert_eq!(csv.lines().count(), component_count + 1);
+    }
+
+    #[test]
+    fn tables_render_rectangularly(
+        rows in prop::collection::vec(
+            prop::collection::vec("[a-z0-9]{0,10}", 3..=3), 0..10),
+    ) {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        for row in &rows {
+            t.row(row.clone());
+        }
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        prop_assert_eq!(lines.len(), rows.len() + 2);
+        prop_assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+}

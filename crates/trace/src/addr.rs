@@ -1,0 +1,99 @@
+//! Physical-address helpers.
+//!
+//! The simulator operates on a single flat 64-bit physical address space
+//! shared by all nodes of the simulated machine. Caches work at cache-line
+//! granularity and the coherence layer assigns home nodes at page
+//! granularity, so conversions between byte addresses, line addresses and
+//! page addresses are needed throughout the workspace.
+
+/// A byte address in the simulated physical address space.
+pub type Addr = u64;
+
+/// The cache-line size used by every configuration in the paper (64 bytes).
+pub const DEFAULT_LINE_SIZE: u64 = 64;
+
+/// The page size used for home-node interleaving and instruction-page
+/// replication (8 KB, the Alpha page size).
+pub const DEFAULT_PAGE_SIZE: u64 = 8192;
+
+/// Converts a byte address to a line address (the line *index*, not the
+/// aligned byte address).
+///
+/// # Panics
+///
+/// Panics if `line_size` is zero or not a power of two.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(csim_trace::line_addr(0x1040, 64), 0x41);
+/// ```
+#[inline]
+pub fn line_addr(addr: Addr, line_size: u64) -> Addr {
+    assert!(
+        line_size.is_power_of_two(),
+        "line size must be a nonzero power of two, got {line_size}"
+    );
+    addr >> line_size.trailing_zeros()
+}
+
+/// Converts a byte address to a page address (the page *index*).
+///
+/// # Panics
+///
+/// Panics if `page_size` is zero or not a power of two.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(csim_trace::page_addr(0x6000, 8192), 3);
+/// ```
+#[inline]
+pub fn page_addr(addr: Addr, page_size: u64) -> Addr {
+    assert!(
+        page_size.is_power_of_two(),
+        "page size must be a nonzero power of two, got {page_size}"
+    );
+    addr >> page_size.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_addr_is_floor_division() {
+        assert_eq!(line_addr(0, 64), 0);
+        assert_eq!(line_addr(63, 64), 0);
+        assert_eq!(line_addr(64, 64), 1);
+        assert_eq!(line_addr(127, 64), 1);
+        assert_eq!(line_addr(128, 64), 2);
+    }
+
+    #[test]
+    fn page_addr_is_floor_division() {
+        assert_eq!(page_addr(0, 8192), 0);
+        assert_eq!(page_addr(8191, 8192), 0);
+        assert_eq!(page_addr(8192, 8192), 1);
+    }
+
+    #[test]
+    fn line_and_page_compose() {
+        // A page holds page_size / line_size lines.
+        let a: Addr = 3 * 8192 + 5 * 64;
+        assert_eq!(line_addr(a, 64), 3 * 128 + 5);
+        assert_eq!(page_addr(a, 8192), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_size_panics() {
+        let _ = line_addr(0x1000, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn zero_page_size_panics() {
+        let _ = page_addr(0x1000, 0);
+    }
+}

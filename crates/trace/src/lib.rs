@@ -1,0 +1,35 @@
+//! Memory-reference vocabulary for the chip-level-integration simulator.
+//!
+//! Every other crate in the workspace speaks in terms of the types defined
+//! here: a [`MemRef`] is one dynamic memory access (an instruction fetch, a
+//! load or a store) issued by one processor, tagged with the execution mode
+//! (user or kernel) it was issued in. A [`ReferenceStream`] is an unbounded
+//! producer of such references — the synthetic OLTP workload in
+//! `csim-workload` is one implementation, and tests frequently use the
+//! [`SliceStream`] and [`FnStream`] helpers instead.
+//!
+//! # Example
+//!
+//! ```
+//! use csim_trace::{Access, ExecMode, MemRef, ReferenceStream, SliceStream};
+//!
+//! let refs = [
+//!     MemRef::ifetch(0x1000, ExecMode::User),
+//!     MemRef::load(0x8000, ExecMode::User),
+//!     MemRef::store(0x8040, ExecMode::Kernel),
+//! ];
+//! let mut stream = SliceStream::cycle(&refs);
+//! let r = stream.next_ref();
+//! assert_eq!(r.access, Access::InstrFetch);
+//! assert_eq!(r.line_addr(64), 0x1000 / 64);
+//! ```
+
+mod addr;
+mod codec;
+mod mem_ref;
+mod stream;
+
+pub use addr::{line_addr, page_addr, Addr, DEFAULT_LINE_SIZE, DEFAULT_PAGE_SIZE};
+pub use codec::{ReplayStream, TraceReader, TraceWriter};
+pub use mem_ref::{Access, ExecMode, MemRef};
+pub use stream::{FnStream, InterleavedStream, ReferenceStream, SliceStream};

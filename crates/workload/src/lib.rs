@@ -1,0 +1,53 @@
+//! Synthetic OLTP workload engine for the chip-level-integration study.
+//!
+//! The paper runs TPC-B on the Oracle 7.3.2 commercial database under
+//! Tru64 Unix inside the SimOS-Alpha full-system simulator. Neither the
+//! database nor the simulator is available, so this crate implements the
+//! closest synthetic equivalent: a generator of per-processor memory
+//! reference streams that structurally reproduces the workload's
+//! memory-system signature (see DESIGN.md for the substitution argument):
+//!
+//! * **Process architecture** — 8 dedicated server processes per
+//!   processor, a log writer (node 0) and a database writer (node 1),
+//!   context-switched at transaction phase boundaries; kernel activity
+//!   (pipes, scheduler, I/O) is ~25% of instructions as the paper reports.
+//! * **Footprints** — hot database and kernel text far larger than the
+//!   64 KB L1s; hot private PGA per server; hot shared SGA metadata and a
+//!   read-mostly dictionary region; everything scattered page-by-page
+//!   through physical memory so direct-mapped caches suffer realistic
+//!   conflict misses.
+//! * **Sharing** — TPC-B's 40 branch rows and their latches migrate
+//!   between all nodes (3-hop misses); the redo-log tail is write-shared;
+//!   packed teller rows false-share lines; the log writer and database
+//!   writer read other nodes' dirty data.
+//! * **Cold streams** — uniform account-row accesses over hundreds of
+//!   megabytes, history appends, and I/O staging buffers that no cache
+//!   holds.
+//!
+//! # Example
+//!
+//! ```
+//! use csim_trace::ReferenceStream;
+//! use csim_workload::{OltpParams, OltpWorkload};
+//!
+//! let mut nodes = OltpWorkload::build(OltpParams::default(), 2)?;
+//! let r = nodes[0].next_ref();
+//! assert!(r.addr < 1 << 46);
+//! # Ok::<(), csim_workload::ParamsError>(())
+//! ```
+
+mod code;
+mod layout;
+mod params;
+mod sga;
+mod stream;
+mod tpcb;
+mod zipf;
+
+pub use code::{CodeCursor, CodeRegion};
+pub use layout::{AddressMap, Region, ADDR_BITS, LINES_PER_PAGE, LINE_BYTES, PAGE_BYTES};
+pub use params::{OltpParams, ParamsError};
+pub use sga::{LockKind, Sga};
+pub use stream::{NodeWorkload, OltpWorkload, SharedOltpState};
+pub use tpcb::{RowRef, Schema, Table, BLOCK_HEADER_BYTES};
+pub use zipf::ZipfTable;

@@ -1,0 +1,800 @@
+//! The per-node OLTP reference stream.
+//!
+//! Each simulated processor runs the paper's process mix: 8 dedicated
+//! Oracle server processes executing TPC-B transactions, the log writer
+//! (on node 0), the database writer (on node 1, or node 0 in a
+//! uniprocessor), and kernel activity (pipes, context switches, I/O) that
+//! accounts for roughly a quarter of all instructions. A transaction is
+//! three scheduling bursts — pipe receive (kernel), execute (database
+//! engine), commit (database + kernel) — with a context switch between
+//! bursts, so the 8 servers' footprints interleave in the caches exactly
+//! the way time-sharing interleaves them on real hardware.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use csim_trace::{Addr, ExecMode, MemRef, ReferenceStream};
+
+use crate::code::{CodeCursor, CodeRegion};
+use crate::layout::{AddressMap, Region};
+use crate::params::{OltpParams, ParamsError};
+use crate::sga::{LockKind, Sga};
+use crate::tpcb::{Schema, Table};
+use crate::zipf::ZipfTable;
+
+/// Redo bytes generated per row update.
+const REDO_BYTES_PER_UPDATE: u64 = 120;
+
+/// State shared by every process on every node: the redo log tail, commit
+/// accounting, and the recently-dirtied block lines the database writer
+/// flushes.
+#[derive(Debug, Default)]
+pub struct SharedOltpState {
+    log_tail_bytes: AtomicU64,
+    pending_commits: AtomicU64,
+    txns_completed: AtomicU64,
+    recent_dirty: Mutex<VecDeque<Addr>>,
+}
+
+impl SharedOltpState {
+    /// Transactions committed machine-wide so far.
+    pub fn transactions_completed(&self) -> u64 {
+        self.txns_completed.load(Relaxed)
+    }
+
+    fn push_dirty(&self, addr: Addr) {
+        let mut q = self.recent_dirty.lock().expect("dirty queue poisoned");
+        if q.len() >= 256 {
+            q.pop_front();
+        }
+        q.push_back(addr);
+    }
+
+    fn pop_dirty(&self, n: usize) -> Vec<Addr> {
+        let mut q = self.recent_dirty.lock().expect("dirty queue poisoned");
+        let take = n.min(q.len());
+        q.drain(..take).collect()
+    }
+}
+
+/// The OLTP workload: builds one [`NodeWorkload`] stream per processor.
+#[derive(Debug)]
+pub struct OltpWorkload;
+
+impl OltpWorkload {
+    /// Validates `params` and builds the per-node streams. All streams
+    /// share the redo log tail and commit bookkeeping, so they must be
+    /// consumed by one simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError`] when the parameters are inconsistent or
+    /// `n_nodes` is 0 or exceeds 64 (the directory's presence-vector
+    /// limit).
+    pub fn build(params: OltpParams, n_nodes: usize) -> Result<Vec<NodeWorkload>, ParamsError> {
+        params.validate()?;
+        if n_nodes == 0 || n_nodes > 64 {
+            return Err(ParamsError::from_msg("node count must be in 1..=64"));
+        }
+        let params = Arc::new(params);
+        let shared = Arc::new(SharedOltpState::default());
+        let schema = Arc::new(Schema::new(&params));
+        let sga = Arc::new(Sga::new(params.meta_hot_lines, params.log_ring_lines));
+        let db_code = Arc::new(CodeRegion::new(
+            Region::DbCode,
+            params.db_code_lines,
+            params.func_lines,
+            params.instrs_per_line,
+            params.code_zipf,
+        ));
+        let kernel_code = Arc::new(CodeRegion::new(
+            Region::KernelCode,
+            params.kernel_code_lines,
+            params.func_lines,
+            params.instrs_per_line,
+            params.code_zipf,
+        ));
+        let meta_zipf = Arc::new(ZipfTable::new(params.meta_hot_lines, params.meta_zipf));
+        let shared_read_zipf =
+            Arc::new(ZipfTable::new(params.shared_read_lines, params.shared_read_zipf));
+        Ok((0..n_nodes as u8)
+            .map(|node| {
+                NodeWorkload::new(
+                    node,
+                    n_nodes as u8,
+                    Arc::clone(&params),
+                    Arc::clone(&shared),
+                    Arc::clone(&schema),
+                    Arc::clone(&sga),
+                    Arc::clone(&db_code),
+                    Arc::clone(&kernel_code),
+                    Arc::clone(&meta_zipf),
+                    Arc::clone(&shared_read_zipf),
+                )
+            })
+            .collect())
+    }
+}
+
+/// A server process's position in its transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Kernel: read the client's request from the pipe.
+    Pipe,
+    /// Database engine: parse and execute the TPC-B updates.
+    Execute,
+    /// Database + kernel: commit, write redo, signal the log writer.
+    Commit,
+}
+
+/// Per-server-process state.
+#[derive(Clone, Debug)]
+struct ServerState {
+    phase: Phase,
+    db_cursor: CodeCursor,
+    kernel_cursor: CodeCursor,
+    teller: u64,
+    branch: u64,
+    account: u64,
+    recent: RecentLines,
+}
+
+/// A tiny ring of recently touched background lines, giving background
+/// references the short-term temporal locality real code exhibits.
+#[derive(Clone, Copy, Debug, Default)]
+struct RecentLines {
+    lines: [Addr; 4],
+    len: usize,
+    pos: usize,
+}
+
+impl RecentLines {
+    fn push(&mut self, addr: Addr) {
+        self.lines[self.pos] = addr;
+        self.pos = (self.pos + 1) % self.lines.len();
+        self.len = (self.len + 1).min(self.lines.len());
+    }
+
+    fn pick(&self, idx: usize) -> Option<Addr> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.lines[idx % self.len])
+        }
+    }
+}
+
+/// The reference stream of one processor node.
+///
+/// Produced by [`OltpWorkload::build`]; consumed by the simulator via
+/// [`ReferenceStream`].
+#[derive(Debug)]
+pub struct NodeWorkload {
+    node: u8,
+    params: Arc<OltpParams>,
+    shared: Arc<SharedOltpState>,
+    schema: Arc<Schema>,
+    sga: Arc<Sga>,
+    map: AddressMap,
+    db_code: Arc<CodeRegion>,
+    kernel_code: Arc<CodeRegion>,
+    meta_zipf: Arc<ZipfTable>,
+    shared_read_zipf: Arc<ZipfTable>,
+    rng: SmallRng,
+    servers: Vec<ServerState>,
+    cur_server: usize,
+    rounds: u64,
+    last_dbwr_round: u64,
+    lgwr_flushed_bytes: u64,
+    history_seq: u64,
+    io_seq: u64,
+    txns_local: u64,
+    runs_lgwr: bool,
+    runs_dbwr: bool,
+    daemon_db_cursor: CodeCursor,
+    daemon_kernel_cursor: CodeCursor,
+    daemon_recent: RecentLines,
+    buf: VecDeque<MemRef>,
+    // Precomputed mix thresholds.
+    uload_private: f64,
+    uload_meta: f64,
+    uload_work: f64,
+    ustore_private: f64,
+    ustore_meta: f64,
+    k_stack: f64,
+    k_node: f64,
+}
+
+impl NodeWorkload {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        node: u8,
+        n_nodes: u8,
+        params: Arc<OltpParams>,
+        shared: Arc<SharedOltpState>,
+        schema: Arc<Schema>,
+        sga: Arc<Sga>,
+        db_code: Arc<CodeRegion>,
+        kernel_code: Arc<CodeRegion>,
+        meta_zipf: Arc<ZipfTable>,
+        shared_read_zipf: Arc<ZipfTable>,
+    ) -> Self {
+        let seed = params
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(node).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let servers = (0..params.servers_per_node)
+            .map(|_| ServerState {
+                phase: Phase::Pipe,
+                db_cursor: db_code.entry(&mut rng),
+                kernel_cursor: kernel_code.entry(&mut rng),
+                teller: 0,
+                branch: 0,
+                account: 0,
+                recent: RecentLines::default(),
+            })
+            .collect();
+        let uload_total = params.w_uload_private
+            + params.w_uload_meta
+            + params.w_uload_work
+            + params.w_uload_shared_read;
+        let ustore_total = params.w_ustore_private + params.w_ustore_meta + params.w_ustore_work;
+        let k_total = params.w_k_stack + params.w_k_node + params.w_k_shared;
+        let map = AddressMap::new(params.seed);
+        let daemon_db_cursor = db_code.entry(&mut rng);
+        let daemon_kernel_cursor = kernel_code.entry(&mut rng);
+        NodeWorkload {
+            node,
+            runs_lgwr: node == 0,
+            runs_dbwr: node == if n_nodes > 1 { 1 } else { 0 },
+            params: Arc::clone(&params),
+            shared,
+            schema,
+            sga,
+            map,
+            db_code,
+            kernel_code,
+            meta_zipf,
+            shared_read_zipf,
+            rng,
+            servers,
+            cur_server: 0,
+            rounds: 0,
+            last_dbwr_round: 0,
+            lgwr_flushed_bytes: 0,
+            history_seq: 0,
+            io_seq: 0,
+            txns_local: 0,
+            daemon_db_cursor,
+            daemon_kernel_cursor,
+            daemon_recent: RecentLines::default(),
+            buf: VecDeque::with_capacity(32 * 1024),
+            uload_private: params.w_uload_private / uload_total,
+            uload_meta: (params.w_uload_private + params.w_uload_meta) / uload_total,
+            uload_work: (params.w_uload_private + params.w_uload_meta + params.w_uload_work)
+                / uload_total,
+            ustore_private: params.w_ustore_private / ustore_total,
+            ustore_meta: (params.w_ustore_private + params.w_ustore_meta) / ustore_total,
+            k_stack: params.w_k_stack / k_total,
+            k_node: (params.w_k_stack + params.w_k_node) / k_total,
+        }
+    }
+
+    /// This stream's node id.
+    pub fn node(&self) -> u8 {
+        self.node
+    }
+
+    /// Transactions committed by this node's servers.
+    pub fn node_transactions(&self) -> u64 {
+        self.txns_local
+    }
+
+    /// The machine-wide shared workload state.
+    pub fn shared(&self) -> &SharedOltpState {
+        &self.shared
+    }
+
+    /// A cloneable handle to the shared workload state (e.g. for counting
+    /// transactions from outside the stream).
+    pub fn shared_handle(&self) -> Arc<SharedOltpState> {
+        Arc::clone(&self.shared)
+    }
+
+    // ---- low-level emission helpers -------------------------------------
+
+    #[inline]
+    fn push_data(&mut self, addr: Addr, write: bool, mode: ExecMode) {
+        self.buf.push_back(if write { MemRef::store(addr, mode) } else { MemRef::load(addr, mode) });
+    }
+
+    fn meta_addr(&self, line: u64) -> Addr {
+        self.map.line_addr(Region::MetaHot, line)
+    }
+
+    /// Acquire-release style latch access: read then write the lock line.
+    fn touch_lock(&mut self, kind: LockKind, id: u64) {
+        let addr = self.meta_addr(self.sga.lock_line(kind, id));
+        self.push_data(addr, false, ExecMode::User);
+        self.push_data(addr, true, ExecMode::User);
+    }
+
+    /// Buffer-header lookup plus touch-count update.
+    fn touch_header(&mut self, table: Table, block: u64) {
+        let addr = self.meta_addr(self.sga.buffer_header_line(table, block));
+        self.push_data(addr, false, ExecMode::User);
+        self.push_data(addr, true, ExecMode::User);
+    }
+
+    /// Appends `bytes` of redo to the global log ring (write-shared tail).
+    fn append_redo(&mut self, bytes: u64) {
+        let start = self.shared.log_tail_bytes.fetch_add(bytes, Relaxed);
+        let first = start / 64;
+        let last = (start + bytes - 1) / 64;
+        for line in first..=last {
+            let ring_line = line % self.sga.log_ring_lines();
+            let addr = self.map.line_addr(Region::LogRing, ring_line);
+            self.push_data(addr, true, ExecMode::User);
+        }
+    }
+
+    /// Emits `n` instructions of straight-line-plus-jump code with the
+    /// background data mix.
+    fn run_code(&mut self, kernel: bool, server: u16, n: u64) {
+        let mode = if kernel { ExecMode::Kernel } else { ExecMode::User };
+        let code = if kernel { Arc::clone(&self.kernel_code) } else { Arc::clone(&self.db_code) };
+        let (p_load, p_store) = (self.params.p_load, self.params.p_store);
+        let mut cursor = self.cursor_for(kernel, server);
+        for _ in 0..n {
+            let addr = code.step(&mut cursor, &mut self.rng, &self.map);
+            self.buf.push_back(MemRef::ifetch(addr, mode));
+            let roll: f64 = self.rng.gen();
+            if roll < p_load {
+                let a = self.background_target(kernel, server, false);
+                self.push_data(a, false, mode);
+            } else if roll < p_load + p_store {
+                let a = self.background_target(kernel, server, true);
+                self.push_data(a, true, mode);
+            }
+        }
+        self.store_cursor(kernel, server, cursor);
+    }
+
+    fn cursor_for(&self, kernel: bool, server: u16) -> CodeCursor {
+        if server == u16::MAX {
+            if kernel {
+                self.daemon_kernel_cursor
+            } else {
+                self.daemon_db_cursor
+            }
+        } else if kernel {
+            self.servers[server as usize].kernel_cursor
+        } else {
+            self.servers[server as usize].db_cursor
+        }
+    }
+
+    fn store_cursor(&mut self, kernel: bool, server: u16, cursor: CodeCursor) {
+        if server == u16::MAX {
+            if kernel {
+                self.daemon_kernel_cursor = cursor;
+            } else {
+                self.daemon_db_cursor = cursor;
+            }
+        } else if kernel {
+            self.servers[server as usize].kernel_cursor = cursor;
+        } else {
+            self.servers[server as usize].db_cursor = cursor;
+        }
+    }
+
+    /// Picks the target of a background data reference, preferring a
+    /// recently used line with probability `bg_reuse`.
+    fn background_target(&mut self, kernel: bool, server: u16, write: bool) -> Addr {
+        if self.rng.gen::<f64>() < self.params.bg_reuse {
+            let idx = self.rng.gen_range(0..4usize);
+            let recent = if server == u16::MAX {
+                &self.daemon_recent
+            } else {
+                &self.servers[server as usize].recent
+            };
+            if let Some(addr) = recent.pick(idx) {
+                return addr;
+            }
+        }
+        let addr = self.fresh_background_target(kernel, server, write);
+        if server == u16::MAX {
+            self.daemon_recent.push(addr);
+        } else {
+            self.servers[server as usize].recent.push(addr);
+        }
+        addr
+    }
+
+    /// Picks a fresh background target from the mode's region mix.
+    fn fresh_background_target(&mut self, kernel: bool, server: u16, write: bool) -> Addr {
+        let server_idx = if server == u16::MAX { 0 } else { server };
+        if kernel {
+            if write && self.rng.gen::<f64>() < self.params.k_shared_store_fraction {
+                let line = self.rng.gen_range(0..self.params.kernel_shared_lines);
+                return self.map.line_addr(Region::KernelShared, line);
+            }
+            let roll: f64 = self.rng.gen();
+            if roll < self.k_stack {
+                let line = self.rng.gen_range(0..self.params.kernel_stack_lines);
+                self.map.line_addr(Region::KernelStack { node: self.node, server: server_idx }, line)
+            } else if roll < self.k_node {
+                let line = self.rng.gen_range(0..self.params.kernel_node_lines);
+                self.map.line_addr(Region::KernelNode { node: self.node }, line)
+            } else {
+                let line = self.rng.gen_range(0..self.params.kernel_shared_lines);
+                self.map.line_addr(Region::KernelShared, line)
+            }
+        } else if write {
+            let roll: f64 = self.rng.gen();
+            if roll < self.ustore_private {
+                let line = self.rng.gen_range(0..self.params.pga_hot_lines);
+                self.map.line_addr(Region::Pga { node: self.node, server: server_idx }, line)
+            } else if roll < self.ustore_meta {
+                let u: f64 = self.rng.gen();
+                self.meta_addr(self.meta_zipf.sample(u))
+            } else {
+                let line = self.rng.gen_range(0..self.params.work_area_lines);
+                self.map
+                    .line_addr(Region::WorkArea { node: self.node, server: server_idx }, line)
+            }
+        } else {
+            let roll: f64 = self.rng.gen();
+            if roll < self.uload_private {
+                let line = self.rng.gen_range(0..self.params.pga_hot_lines);
+                self.map.line_addr(Region::Pga { node: self.node, server: server_idx }, line)
+            } else if roll < self.uload_meta {
+                let u: f64 = self.rng.gen();
+                self.meta_addr(self.meta_zipf.sample(u))
+            } else if roll < self.uload_work {
+                let line = self.rng.gen_range(0..self.params.work_area_lines);
+                self.map
+                    .line_addr(Region::WorkArea { node: self.node, server: server_idx }, line)
+            } else {
+                let u: f64 = self.rng.gen();
+                let line = self.shared_read_zipf.sample(u);
+                self.map.line_addr(Region::SharedRead, line)
+            }
+        }
+    }
+
+    // ---- phase bursts ----------------------------------------------------
+
+    /// Kernel burst: receive the client request over the pipe.
+    fn burst_pipe(&mut self, s: u16) {
+        self.run_code(true, s, self.params.txn_pipe_instrs);
+        // Pipe buffer and wakeup touches in per-node kernel data.
+        for _ in 0..2 {
+            let line = self.rng.gen_range(0..self.params.kernel_node_lines);
+            let addr = self.map.line_addr(Region::KernelNode { node: self.node }, line);
+            self.push_data(addr, false, ExecMode::Kernel);
+            self.push_data(addr, true, ExecMode::Kernel);
+        }
+        // Choose the transaction the client submitted.
+        let teller = self.schema.pick_teller(&mut self.rng);
+        let branch = self.schema.branch_of_teller(teller);
+        let account = self.schema.pick_account(&mut self.rng, branch);
+        let srv = &mut self.servers[s as usize];
+        srv.teller = teller;
+        srv.branch = branch;
+        srv.account = account;
+        srv.phase = Phase::Execute;
+    }
+
+    /// Database burst: the TPC-B updates.
+    fn burst_execute(&mut self, s: u16) {
+        let (teller, branch, account) = {
+            let srv = &self.servers[s as usize];
+            (srv.teller, srv.branch, srv.account)
+        };
+        let chunk = (self.params.txn_db_instrs / 12).max(1);
+
+        // Begin: transaction-table slot.
+        self.run_code(false, s, chunk);
+        let slot = self.meta_addr(self.sga.txn_slot_line(self.node, s));
+        self.push_data(slot, true, ExecMode::User);
+
+        // Account update: lock, header, row read-modify-write, undo, redo.
+        self.run_code(false, s, chunk);
+        self.touch_lock(LockKind::Account, account);
+        let arow = self.schema.account_row(account);
+        self.touch_header(Table::Account, arow.block);
+        self.run_code(false, s, 2 * chunk);
+        let aaddr = self.map.line_addr(Region::AccountBlocks, arow.row_line);
+        self.push_data(aaddr, false, ExecMode::User);
+        self.run_code(false, s, chunk);
+        self.push_data(aaddr, true, ExecMode::User);
+        self.shared.push_dirty(aaddr);
+        let undo = {
+            let line = self.rng.gen_range(0..self.params.pga_hot_lines);
+            self.map.line_addr(Region::Pga { node: self.node, server: s }, line)
+        };
+        self.push_data(undo, true, ExecMode::User);
+        self.append_redo(REDO_BYTES_PER_UPDATE);
+
+        // Teller update.
+        self.run_code(false, s, chunk);
+        self.touch_lock(LockKind::Teller, teller);
+        let trow = self.schema.teller_row(teller);
+        self.touch_header(Table::Teller, trow.block);
+        let taddr = self.map.line_addr(Region::TellerBlocks, trow.row_line);
+        self.push_data(taddr, false, ExecMode::User);
+        self.push_data(taddr, true, ExecMode::User);
+        self.append_redo(REDO_BYTES_PER_UPDATE);
+
+        // Branch update (the migratory hot spot).
+        self.run_code(false, s, 2 * chunk);
+        self.touch_lock(LockKind::Branch, branch);
+        let brow = self.schema.branch_row(branch);
+        self.touch_header(Table::Branch, brow.block);
+        let baddr = self.map.line_addr(Region::BranchBlocks, brow.row_line);
+        self.push_data(baddr, false, ExecMode::User);
+        self.push_data(baddr, true, ExecMode::User);
+        self.append_redo(REDO_BYTES_PER_UPDATE);
+
+        // History append (cold stream) + LRU list maintenance.
+        self.run_code(false, s, chunk);
+        let hrow = self.schema.history_row(self.history_seq);
+        self.history_seq += 1;
+        self.touch_header(Table::History, hrow.block);
+        let haddr = self.map.line_addr(Region::HistoryBlocks { node: self.node }, hrow.row_line);
+        self.push_data(haddr, true, ExecMode::User);
+        self.touch_lock(LockKind::LruList, u64::from(self.node) & 0x3);
+        self.append_redo(REDO_BYTES_PER_UPDATE);
+
+        // Release locks, close out.
+        self.run_code(false, s, 2 * chunk);
+        self.touch_lock(LockKind::Account, account);
+        self.touch_lock(LockKind::Teller, teller);
+        self.touch_lock(LockKind::Branch, branch);
+        self.run_code(false, s, chunk);
+        self.push_data(slot, true, ExecMode::User);
+
+        self.servers[s as usize].phase = Phase::Commit;
+    }
+
+    /// Commit burst: redo commit record, log syscall.
+    fn burst_commit(&mut self, s: u16) {
+        let db_part = self.params.txn_commit_instrs / 3;
+        self.run_code(false, s, db_part);
+        self.append_redo(REDO_BYTES_PER_UPDATE / 2);
+        self.touch_lock(LockKind::LogControl, 0);
+        self.run_code(true, s, self.params.txn_commit_instrs - db_part);
+        self.shared.pending_commits.fetch_add(1, Relaxed);
+        self.shared.txns_completed.fetch_add(1, Relaxed);
+        self.txns_local += 1;
+        self.servers[s as usize].phase = Phase::Pipe;
+    }
+
+    /// Context-switch burst: scheduler code plus run-queue updates.
+    fn burst_switch(&mut self) {
+        let s = self.cur_server as u16;
+        self.run_code(true, s, self.params.switch_instrs);
+        let line = self.rng.gen_range(0..self.params.kernel_node_lines);
+        let addr = self.map.line_addr(Region::KernelNode { node: self.node }, line);
+        self.push_data(addr, false, ExecMode::Kernel);
+        self.push_data(addr, true, ExecMode::Kernel);
+    }
+
+    /// Log-writer burst (node 0): harvest the redo written since the last
+    /// flush — 3-hop reads of lines dirtied by every node — and stage it
+    /// to cold I/O buffers.
+    fn burst_lgwr(&mut self) {
+        let half = self.params.lgwr_instrs / 2;
+        self.run_code(false, u16::MAX, half);
+        let tail = self.shared.log_tail_bytes.load(Relaxed);
+        let first_line = self.lgwr_flushed_bytes / 64;
+        let last_line = tail / 64;
+        // Cap the harvest so a long backlog cannot stall the stream.
+        let span = (last_line - first_line).min(64);
+        for l in 0..span {
+            let ring_line = (first_line + l) % self.sga.log_ring_lines();
+            let addr = self.map.line_addr(Region::LogRing, ring_line);
+            self.push_data(addr, false, ExecMode::User);
+        }
+        self.lgwr_flushed_bytes = tail;
+        self.run_code(true, u16::MAX, self.params.lgwr_instrs - half);
+        for _ in 0..8 {
+            let addr = self.map.line_addr(Region::IoBuffer { node: self.node }, self.io_seq);
+            self.io_seq += 1;
+            self.push_data(addr, true, ExecMode::Kernel);
+        }
+        self.touch_lock(LockKind::LogControl, 0);
+        self.shared.pending_commits.store(0, Relaxed);
+    }
+
+    /// Database-writer burst: scan buffer headers and flush recently
+    /// dirtied block lines (3-hop reads of other nodes' stores).
+    fn burst_dbwr(&mut self) {
+        let half = self.params.dbwr_instrs / 2;
+        self.run_code(false, u16::MAX, half);
+        for _ in 0..40 {
+            let u: f64 = self.rng.gen();
+            let addr = self.meta_addr(self.meta_zipf.sample(u));
+            self.push_data(addr, false, ExecMode::User);
+        }
+        let victims = self.shared.pop_dirty(16);
+        for addr in victims {
+            self.push_data(addr, false, ExecMode::User);
+        }
+        self.run_code(true, u16::MAX, self.params.dbwr_instrs - half);
+        for _ in 0..8 {
+            let addr = self.map.line_addr(Region::IoBuffer { node: self.node }, self.io_seq);
+            self.io_seq += 1;
+            self.push_data(addr, true, ExecMode::Kernel);
+        }
+    }
+
+    /// Produces the next scheduling burst into the buffer.
+    fn refill(&mut self) {
+        debug_assert!(self.buf.is_empty());
+        if self.runs_lgwr
+            && self.shared.pending_commits.load(Relaxed) >= self.params.lgwr_batch
+        {
+            self.burst_lgwr();
+            self.burst_switch();
+            return;
+        }
+        if self.runs_dbwr
+            && self.rounds > 0
+            && self.rounds - self.last_dbwr_round >= self.params.dbwr_period
+        {
+            self.last_dbwr_round = self.rounds;
+            self.burst_dbwr();
+            self.burst_switch();
+            return;
+        }
+        let s = self.cur_server as u16;
+        match self.servers[s as usize].phase {
+            Phase::Pipe => self.burst_pipe(s),
+            Phase::Execute => self.burst_execute(s),
+            Phase::Commit => self.burst_commit(s),
+        }
+        self.burst_switch();
+        self.cur_server = (self.cur_server + 1) % self.servers.len();
+        self.rounds += 1;
+    }
+}
+
+impl ReferenceStream for NodeWorkload {
+    fn next_ref(&mut self) -> MemRef {
+        loop {
+            if let Some(r) = self.buf.pop_front() {
+                return r;
+            }
+            self.refill();
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use csim_trace::Access;
+
+    fn one_node() -> NodeWorkload {
+        OltpWorkload::build(OltpParams::default(), 1).unwrap().remove(0)
+    }
+
+    #[test]
+    fn build_validates_node_count() {
+        assert!(OltpWorkload::build(OltpParams::default(), 0).is_err());
+        assert!(OltpWorkload::build(OltpParams::default(), 65).is_err());
+        assert_eq!(OltpWorkload::build(OltpParams::default(), 8).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn build_validates_params() {
+        let mut p = OltpParams::default();
+        p.branches = 0;
+        assert!(OltpWorkload::build(p, 1).is_err());
+    }
+
+    #[test]
+    fn stream_produces_references_forever() {
+        let mut w = one_node();
+        for _ in 0..200_000 {
+            let r = w.next_ref();
+            assert!(r.addr < 1 << 46);
+        }
+    }
+
+    #[test]
+    fn kernel_share_is_roughly_a_quarter() {
+        // The paper reports ~25% of execution in the kernel.
+        let mut w = one_node();
+        let mut kernel = 0u64;
+        let n = 500_000;
+        for _ in 0..n {
+            if w.next_ref().mode == ExecMode::Kernel {
+                kernel += 1;
+            }
+        }
+        let frac = kernel as f64 / n as f64;
+        assert!((0.15..0.40).contains(&frac), "kernel fraction {frac}");
+    }
+
+    #[test]
+    fn data_mix_matches_probabilities() {
+        let mut w = one_node();
+        let (mut i, mut l, mut s) = (0u64, 0u64, 0u64);
+        for _ in 0..500_000 {
+            match w.next_ref().access {
+                Access::InstrFetch => i += 1,
+                Access::Load => l += 1,
+                Access::Store => s += 1,
+            }
+        }
+        let loads_per_instr = l as f64 / i as f64;
+        let stores_per_instr = s as f64 / i as f64;
+        // Background mix plus scripted references: rates sit at or a
+        // little above the configured per-instruction probabilities.
+        let p = OltpParams::default();
+        assert!(
+            (p.p_load..p.p_load + 0.10).contains(&loads_per_instr),
+            "loads/instr {loads_per_instr}"
+        );
+        assert!(
+            (p.p_store..p.p_store + 0.08).contains(&stores_per_instr),
+            "stores/instr {stores_per_instr}"
+        );
+    }
+
+    #[test]
+    fn transactions_complete_and_are_counted() {
+        let mut w = one_node();
+        // One transaction is ~15k instructions across 3 bursts of 8
+        // servers; run enough references for several commits.
+        for _ in 0..2_000_000 {
+            w.next_ref();
+        }
+        assert!(w.node_transactions() > 10, "txns {}", w.node_transactions());
+        assert_eq!(w.shared().transactions_completed(), w.node_transactions());
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let collect = || {
+            let mut w = one_node();
+            (0..100_000).map(|_| w.next_ref()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn nodes_differ_but_share_the_log() {
+        let mut nodes = OltpWorkload::build(OltpParams::default(), 2).unwrap();
+        let mut b = nodes.pop().unwrap();
+        let mut a = nodes.pop().unwrap();
+        let ra: Vec<MemRef> = (0..50_000).map(|_| a.next_ref()).collect();
+        let rb: Vec<MemRef> = (0..50_000).map(|_| b.next_ref()).collect();
+        assert_ne!(ra, rb, "different nodes must produce different streams");
+        // Both nodes committed into the same shared counter.
+        assert_eq!(
+            a.shared().transactions_completed(),
+            b.shared().transactions_completed()
+        );
+    }
+
+    #[test]
+    fn daemons_run_on_their_nodes() {
+        let nodes = OltpWorkload::build(OltpParams::default(), 4).unwrap();
+        assert!(nodes[0].runs_lgwr);
+        assert!(!nodes[1].runs_lgwr);
+        assert!(nodes[1].runs_dbwr);
+        assert!(!nodes[0].runs_dbwr);
+        let uni = OltpWorkload::build(OltpParams::default(), 1).unwrap();
+        assert!(uni[0].runs_lgwr && uni[0].runs_dbwr);
+    }
+}

@@ -1,0 +1,118 @@
+//! Zipf-distributed sampling.
+
+/// A precomputed Zipf(s) distribution over `0..n`.
+///
+/// Item `i` is drawn with probability proportional to `1 / (i + 1)^s`.
+/// `s = 0` degenerates to the uniform distribution. Sampling is a binary
+/// search over the cumulative table — O(log n) with no floating-point
+/// surprises, fast enough for the workload generator's hot path because
+/// most references are produced in bursts.
+///
+/// # Example
+///
+/// ```
+/// use csim_workload::ZipfTable;
+/// let z = ZipfTable::new(100, 0.8);
+/// // The most popular item is item 0.
+/// let i = z.sample(0.0);
+/// assert_eq!(i, 0);
+/// assert!(z.sample(0.9999) < 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds the table for `n` items with skew `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative or not finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "a Zipf distribution needs at least one item");
+        assert!(s.is_finite() && s >= 0.0, "zipf skew must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// `true` when the table is empty (never — construction requires
+    /// `n > 0` — but provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Maps a uniform variate `u` in `[0, 1)` to an item index.
+    #[inline]
+    pub fn sample(&self, u: f64) -> u64 {
+        debug_assert!((0.0..=1.0).contains(&u));
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = ZipfTable::new(4, 0.0);
+        assert_eq!(z.sample(0.1), 0);
+        assert_eq!(z.sample(0.3), 1);
+        assert_eq!(z.sample(0.6), 2);
+        assert_eq!(z.sample(0.9), 3);
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_early_items() {
+        let z = ZipfTable::new(1000, 1.0);
+        // With s=1 and n=1000, H(1000) ≈ 7.485; item 0 has mass ≈ 13.4%.
+        assert_eq!(z.sample(0.10), 0);
+        // The top 10 items carry ≈ 39% of the mass.
+        assert!(z.sample(0.35) < 10);
+        // The tail is still reachable.
+        assert_eq!(z.sample(0.999999), 999);
+    }
+
+    #[test]
+    fn all_samples_in_range() {
+        let z = ZipfTable::new(17, 0.7);
+        for i in 0..=100 {
+            let u = i as f64 / 100.0;
+            assert!(z.sample(u.min(0.999_999)) < 17);
+        }
+    }
+
+    #[test]
+    fn len_reports_item_count() {
+        let z = ZipfTable::new(5, 0.5);
+        assert_eq!(z.len(), 5);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_rejected() {
+        let _ = ZipfTable::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_skew_rejected() {
+        let _ = ZipfTable::new(4, -1.0);
+    }
+}

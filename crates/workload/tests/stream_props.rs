@@ -1,0 +1,91 @@
+//! Property tests of the workload engine: determinism, address-space
+//! discipline, and distribution sanity under parameter variation.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use proptest::prelude::*;
+
+use csim_trace::ReferenceStream;
+use csim_workload::{AddressMap, OltpParams, OltpWorkload, Region, ZipfTable, ADDR_BITS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn streams_stay_inside_the_physical_address_space(
+        seed in any::<u64>(),
+        nodes in 1usize..=4,
+    ) {
+        let mut params = OltpParams::default();
+        params.seed = seed;
+        let mut streams = OltpWorkload::build(params, nodes).unwrap();
+        for s in &mut streams {
+            for _ in 0..5_000 {
+                let r = s.next_ref();
+                prop_assert!(r.addr < 1 << ADDR_BITS, "address {:#x} out of range", r.addr);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_seeds_are_bitwise_deterministic(seed in any::<u64>()) {
+        let run = || {
+            let mut params = OltpParams::default();
+            params.seed = seed;
+            let mut streams = OltpWorkload::build(params, 2).unwrap();
+            let mut collected = Vec::new();
+            for _ in 0..2_000 {
+                collected.push(streams[0].next_ref());
+                collected.push(streams[1].next_ref());
+            }
+            collected
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parameter_scaling_does_not_break_the_generator(
+        db_instrs in 1_000u64..30_000,
+        servers in 1usize..12,
+        meta_lines in 256u64..8192,
+    ) {
+        let mut params = OltpParams::default();
+        params.txn_db_instrs = db_instrs;
+        params.servers_per_node = servers;
+        params.meta_hot_lines = meta_lines;
+        params.validate().unwrap();
+        let mut streams = OltpWorkload::build(params, 1).unwrap();
+        for _ in 0..20_000 {
+            let _ = streams[0].next_ref();
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_is_monotone_in_u(n in 1u64..5_000, s in 0.0f64..2.0) {
+        let z = ZipfTable::new(n, s);
+        let mut last = 0;
+        for i in 0..=100 {
+            let u = (i as f64 / 100.0).min(0.999_999);
+            let idx = z.sample(u);
+            prop_assert!(idx >= last, "sampling must be monotone in u");
+            prop_assert!(idx < n);
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn address_map_regions_never_alias_within_a_region(
+        seed in any::<u64>(),
+        region_pages in 1u64..64,
+    ) {
+        // Within one region, distinct line indices map to distinct
+        // physical addresses (pages may collide across regions with
+        // vanishing probability, but never within one).
+        let map = AddressMap::new(seed);
+        let mut seen = std::collections::HashSet::new();
+        for line in 0..region_pages * 128 {
+            let addr = map.line_addr(Region::MetaHot, line);
+            prop_assert!(seen.insert(addr), "line {line} aliased within MetaHot");
+        }
+    }
+}

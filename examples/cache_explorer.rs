@@ -1,0 +1,62 @@
+//! Cache explorer: reproduce the paper's central surprise — a small,
+//! highly associative on-chip L2 beats a much larger direct-mapped
+//! off-chip one on OLTP, because most misses the big cache removes are
+//! conflict misses.
+//!
+//! Sweeps L2 size x associativity on the uniprocessor and prints a miss
+//! matrix, then drills into the 2 MB column.
+//!
+//! Run with: `cargo run --release --example cache_explorer`
+
+use oltp_chip_integration::prelude::*;
+
+fn measure(cfg: &SystemConfig, warm: u64, meas: u64) -> SimReport {
+    let mut sim = Simulation::with_oltp(cfg, OltpParams::default()).expect("valid workload");
+    sim.warm_up(warm);
+    sim.run(meas)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (warm, meas) = (1_500_000, 1_500_000);
+
+    println!("L2 misses per kilo-instruction, uniprocessor (off-chip L2):\n");
+    let mut table = TextTable::new(vec!["size \\ assoc", "1-way", "2-way", "4-way", "8-way"]);
+    for mb in [1u64, 2, 4, 8] {
+        let mut row = vec![format!("{mb} MB")];
+        for assoc in [1u32, 2, 4, 8] {
+            let cfg = SystemConfig::builder().l2_off_chip(mb << 20, assoc).build()?;
+            let rep = measure(&cfg, warm, meas);
+            row.push(format!("{:.2}", rep.mpki()));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    println!("The paper's comparison: 8 MB direct-mapped vs 2 MB 8-way on-chip:");
+    let big_dm = measure(&SystemConfig::paper_base_uni(), warm, meas);
+    let small_assoc = measure(
+        &SystemConfig::builder()
+            .integration(IntegrationLevel::L2Integrated)
+            .l2_sram(2 << 20, 8)
+            .build()?,
+        warm,
+        meas,
+    );
+    println!(
+        "  8M1w off-chip: {:.2} mpki, CPI {:.2}",
+        big_dm.mpki(),
+        big_dm.breakdown.cpi()
+    );
+    println!(
+        "  2M8w on-chip:  {:.2} mpki, CPI {:.2}",
+        small_assoc.mpki(),
+        small_assoc.breakdown.cpi()
+    );
+    if small_assoc.misses.total() < big_dm.misses.total() {
+        println!("  -> the 4x smaller cache has FEWER misses: the big cache was");
+        println!("     mostly fixing its own conflict misses, exactly as the paper found.");
+    } else {
+        println!("  -> shapes did not reproduce at this run length; rerun with more references.");
+    }
+    Ok(())
+}

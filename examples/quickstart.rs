@@ -1,0 +1,46 @@
+//! Quickstart: simulate the paper's Base uniprocessor and its
+//! fully-integrated counterpart on the synthetic OLTP workload, and print
+//! the execution-time breakdown for each.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use oltp_chip_integration::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the two machines. `SystemConfig` validates geometry,
+    //    die limits and integration-level consistency at build time.
+    let base = SystemConfig::paper_base_uni();
+    let integrated = SystemConfig::builder()
+        .integration(IntegrationLevel::FullyIntegrated)
+        .l2_sram(2 << 20, 8)
+        .build()?;
+
+    println!("configs:\n  A: {}\n  B: {}\n", base.summary(), integrated.summary());
+
+    // 2. Run each on the same deterministic OLTP workload: warm the
+    //    caches, then measure.
+    let mut chart = BarChart::new("normalized execution time (A = 100)");
+    let mut totals = Vec::new();
+    for (name, cfg) in [("A: Base 8M1w", &base), ("B: All 2M8w", &integrated)] {
+        let mut sim = Simulation::with_oltp(cfg, OltpParams::default())?;
+        sim.warm_up(1_500_000);
+        let report = sim.run(1_500_000);
+        println!(
+            "{name}: CPI {:.2}, CPU busy {:.0}%, {} L2 misses over {} transactions",
+            report.breakdown.cpi(),
+            100.0 * report.breakdown.cpu_utilization(),
+            report.misses.total(),
+            report.transactions,
+        );
+        totals.push(report.breakdown.total_cycles());
+        chart.push(report.exec_bar(name));
+    }
+
+    // 3. Report in the paper's style.
+    println!("\n{}", chart.normalized_to_first().render(60));
+    println!(
+        "chip-level integration speedup: {:.2}x (the paper reports ~1.4x)",
+        totals[0] / totals[1]
+    );
+    Ok(())
+}

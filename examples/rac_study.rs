@@ -1,0 +1,57 @@
+//! Remote-access-cache study (paper Section 6): does bolting an 8 MB
+//! 8-way RAC onto a fully-integrated node help once the on-chip L2
+//! already captures OLTP's hot set?
+//!
+//! Run with: `cargo run --release --example rac_study`
+
+use oltp_chip_integration::prelude::*;
+
+fn build(l2_kb: u64, assoc: u32, rac: bool) -> SystemConfig {
+    let mut b = SystemConfig::builder();
+    b.nodes(8)
+        .integration(IntegrationLevel::FullyIntegrated)
+        .l2_sram(l2_kb << 10, assoc)
+        .replicate_instructions(true);
+    if rac {
+        b.rac(RacConfig::paper());
+    }
+    b.build().expect("valid RAC config")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (warm, meas) = (1_000_000, 1_000_000);
+    let mut table = TextTable::new(vec![
+        "config",
+        "cycles (norm)",
+        "RAC hit rate",
+        "3-hop misses",
+        "local misses",
+    ]);
+    let mut baseline = None;
+    for (label, l2_kb, assoc, rac) in [
+        ("1M4w", 1024, 4, false),
+        ("1M4w + RAC", 1024, 4, true),
+        ("2M8w", 2048, 8, false),
+        ("2M8w + RAC", 2048, 8, true),
+    ] {
+        let cfg = build(l2_kb, assoc, rac);
+        let mut sim = Simulation::with_oltp(&cfg, OltpParams::default())?;
+        sim.warm_up(warm);
+        let rep = sim.run(meas);
+        let total = rep.breakdown.total_cycles();
+        let base = *baseline.get_or_insert(total);
+        table.row(vec![
+            label.to_string(),
+            format!("{:.1}", 100.0 * total / base),
+            if rac { format!("{:.0}%", 100.0 * rep.rac.hit_rate()) } else { "-".into() },
+            format!("{}", rep.misses.data_remote_dirty),
+            format!("{}", rep.misses.instr_local + rep.misses.data_local),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper findings this mirrors: the RAC converts remote misses into");
+    println!("local ones but also increases 3-hop dirty misses; with a 2 MB 8-way");
+    println!("on-chip L2 its hit rate collapses below 10% and the gain vanishes —");
+    println!("an external cache is not worth its tag area on an integrated design.");
+    Ok(())
+}

@@ -1,0 +1,192 @@
+//! `csim` — command-line front end for the chip-level-integration
+//! simulator.
+//!
+//! Simulates one system configuration on the synthetic OLTP workload and
+//! prints the paper-style execution-time and L2-miss breakdowns.
+//!
+//! ```text
+//! USAGE: csim [OPTIONS]
+//!   --nodes N            processor chips (default 1)
+//!   --cores N            cores per chip sharing its L2 (default 1)
+//!   --integration LEVEL  cons | base | l2 | l2mc | all  (default base)
+//!   --l2 SPEC            e.g. 8M1w, 2M8w, 1.25M4w      (default 8M1w)
+//!   --dram               use embedded-DRAM for the on-chip L2
+//!   --rac                add the paper's 8M8w remote access cache
+//!   --replicate          OS instruction-page replication
+//!   --ooo                4-wide out-of-order core (default in-order)
+//!   --warm N / --meas N  references per node (default 2M / 2M)
+//!   --seed N             workload seed
+//! ```
+
+use oltp_chip_integration::prelude::*;
+
+#[derive(Debug)]
+struct Args {
+    nodes: usize,
+    cores: usize,
+    integration: IntegrationLevel,
+    l2_bytes: u64,
+    l2_assoc: u32,
+    dram: bool,
+    rac: bool,
+    replicate: bool,
+    ooo: bool,
+    warm: u64,
+    meas: u64,
+    seed: Option<u64>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            nodes: 1,
+            cores: 1,
+            integration: IntegrationLevel::Base,
+            l2_bytes: 8 << 20,
+            l2_assoc: 1,
+            dram: false,
+            rac: false,
+            replicate: false,
+            ooo: false,
+            warm: 2_000_000,
+            meas: 2_000_000,
+            seed: None,
+        }
+    }
+}
+
+fn parse_l2(spec: &str) -> Result<(u64, u32), String> {
+    // Forms like "2M8w" or "1.25M4w".
+    let spec = spec.trim();
+    let m = spec.find(['M', 'm']).ok_or_else(|| format!("bad L2 spec '{spec}': missing M"))?;
+    let w = spec
+        .rfind(['w', 'W'])
+        .filter(|&w| w > m)
+        .ok_or_else(|| format!("bad L2 spec '{spec}': missing w"))?;
+    let mb: f64 = spec[..m].parse().map_err(|_| format!("bad L2 size in '{spec}'"))?;
+    let assoc: u32 = spec[m + 1..w].parse().map_err(|_| format!("bad associativity in '{spec}'"))?;
+    let bytes = (mb * (1u64 << 20) as f64).round() as u64;
+    Ok((bytes, assoc))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|e| format!("{e}"))?,
+            "--cores" => args.cores = value("--cores")?.parse().map_err(|e| format!("{e}"))?,
+            "--integration" => {
+                args.integration = match value("--integration")?.as_str() {
+                    "cons" => IntegrationLevel::ConservativeBase,
+                    "base" => IntegrationLevel::Base,
+                    "l2" => IntegrationLevel::L2Integrated,
+                    "l2mc" => IntegrationLevel::L2McIntegrated,
+                    "all" => IntegrationLevel::FullyIntegrated,
+                    other => return Err(format!("unknown integration level '{other}'")),
+                }
+            }
+            "--l2" => {
+                let (bytes, assoc) = parse_l2(&value("--l2")?)?;
+                args.l2_bytes = bytes;
+                args.l2_assoc = assoc;
+            }
+            "--dram" => args.dram = true,
+            "--rac" => args.rac = true,
+            "--replicate" => args.replicate = true,
+            "--ooo" => args.ooo = true,
+            "--warm" => args.warm = value("--warm")?.parse().map_err(|e| format!("{e}"))?,
+            "--meas" => args.meas = value("--meas")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = Some(value("--seed")?.parse().map_err(|e| format!("{e}"))?),
+            "--help" | "-h" => {
+                println!("see the module docs at the top of src/bin/csim.rs for usage");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_config(a: &Args) -> Result<SystemConfig, Box<dyn std::error::Error>> {
+    let mut b = SystemConfig::builder();
+    b.nodes(a.nodes)
+        .cores_per_node(a.cores)
+        .integration(a.integration)
+        .replicate_instructions(a.replicate);
+    if a.integration.l2_on_chip() {
+        if a.dram {
+            b.l2_dram(a.l2_bytes, a.l2_assoc);
+        } else {
+            b.l2_sram(a.l2_bytes, a.l2_assoc);
+        }
+    } else {
+        b.l2_off_chip(a.l2_bytes, a.l2_assoc);
+    }
+    if a.rac {
+        b.rac(RacConfig::paper());
+    }
+    if a.ooo {
+        b.out_of_order(OooParams::paper());
+    }
+    Ok(b.build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> {
+        format!("{e} (try --help)").into()
+    })?;
+    let cfg = build_config(&args)?;
+    let mut params = OltpParams::default();
+    if let Some(seed) = args.seed {
+        params.seed = seed;
+    }
+
+    eprintln!("config: {}", cfg.summary());
+    let lat = cfg.latencies();
+    eprintln!(
+        "latencies: L2 hit {}, local {}, remote {}, remote dirty {} cycles",
+        lat.l2_hit, lat.local, lat.remote_clean, lat.remote_dirty
+    );
+    eprintln!("warming {} refs/node, measuring {} refs/node ...", args.warm, args.meas);
+
+    let mut sim = Simulation::with_oltp(&cfg, params)?;
+    sim.warm_up(args.warm);
+    let rep = sim.run(args.meas);
+
+    let chart = BarChart::new("execution time breakdown")
+        .with_bar(rep.exec_bar("cycles"))
+        .normalized_to_first();
+    println!("{}", chart.render(60));
+    let chart = BarChart::new("L2 miss breakdown")
+        .with_bar(rep.miss_bar("misses"))
+        .normalized_to_first();
+    println!("{}", chart.render(60));
+
+    let mut t = TextTable::new(vec!["metric", "value"]);
+    t.row(vec!["instructions".into(), rep.breakdown.instructions.to_string()]);
+    t.row(vec!["CPI".into(), format!("{:.3}", rep.breakdown.cpi())]);
+    t.row(vec!["CPU utilization".into(), format!("{:.1}%", 100.0 * rep.breakdown.cpu_utilization())]);
+    t.row(vec!["L2 misses".into(), rep.misses.total().to_string()]);
+    t.row(vec!["  instruction / data".into(), format!("{} / {}", rep.misses.instr(), rep.misses.data())]);
+    t.row(vec!["  local / 2-hop / 3-hop".into(), format!(
+        "{} / {} / {}",
+        rep.misses.instr_local + rep.misses.data_local,
+        rep.misses.instr_remote + rep.misses.data_remote_clean,
+        rep.misses.data_remote_dirty
+    )]);
+    t.row(vec!["  cold".into(), rep.misses.cold.to_string()]);
+    t.row(vec!["mpki".into(), format!("{:.3}", rep.mpki())]);
+    t.row(vec!["upgrades".into(), rep.upgrades.to_string()]);
+    if cfg.rac().is_some() {
+        t.row(vec!["RAC hit rate".into(), format!("{:.1}%", 100.0 * rep.rac.hit_rate())]);
+    }
+    t.row(vec!["transactions".into(), rep.transactions.to_string()]);
+    t.row(vec!["writebacks".into(), rep.directory.writebacks.to_string()]);
+    t.row(vec!["invalidations sent".into(), rep.directory.invalidations_sent.to_string()]);
+    println!("{}", t.render());
+    Ok(())
+}

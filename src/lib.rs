@@ -1,0 +1,75 @@
+//! Reproduction of *Impact of Chip-Level Integration on Performance of
+//! OLTP Workloads* (Barroso, Gharachorloo, Nowatzyk, Verghese — HPCA
+//! 2000) as a self-contained Rust workspace.
+//!
+//! This facade crate re-exports the workspace's building blocks under one
+//! roof:
+//!
+//! * [`config`] — integration levels, the paper's latency table (Figure
+//!   3), cache geometries, full-system configurations.
+//! * [`workload`] — the synthetic TPC-B / Oracle OLTP workload engine
+//!   (the stand-in for the paper's proprietary Oracle + SimOS setup).
+//! * [`cache`] — set-associative write-back cache models.
+//! * [`coherence`] — the full-map directory protocol for the 8-node
+//!   CC-NUMA machine, including remote-access-cache bookkeeping.
+//! * [`proc`] — in-order and out-of-order processor timing models.
+//! * [`sim`] — the full-system simulator tying everything together.
+//! * [`stats`] — normalized stacked-bar charts and text tables in the
+//!   paper's reporting style.
+//! * [`trace`] — the memory-reference vocabulary shared by all of the
+//!   above.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use oltp_chip_integration::prelude::*;
+//!
+//! // The paper's Base uniprocessor vs the fully-integrated design.
+//! let base = SystemConfig::paper_base_uni();
+//! let mut sim = Simulation::with_oltp(&base, OltpParams::default())?;
+//! sim.warm_up(50_000);
+//! let report = sim.run(50_000);
+//! println!("Base CPI = {:.2}", report.breakdown.cpi());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/benches/` for the harnesses that regenerate every table
+//! and figure of the paper's evaluation.
+
+pub use csim_cache as cache;
+pub use csim_coherence as coherence;
+pub use csim_config as config;
+pub use csim_core as sim;
+pub use csim_noc as noc;
+pub use csim_proc as proc;
+pub use csim_stats as stats;
+pub use csim_trace as trace;
+pub use csim_workload as workload;
+
+/// The most commonly used types, importable with one line.
+pub mod prelude {
+    pub use csim_config::{
+        CacheGeometry, IntegrationLevel, L2Kind, LatencyTable, OooParams, ProcessorModel,
+        RacConfig, SystemConfig,
+    };
+    pub use csim_core::{MissBreakdown, SimReport, Simulation};
+    pub use csim_proc::{ExecBreakdown, StallClass};
+    pub use csim_stats::{Bar, BarChart, TextTable};
+    pub use csim_trace::{Access, ExecMode, MemRef, ReferenceStream};
+    pub use csim_workload::{OltpParams, OltpWorkload};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_a_working_pipeline() {
+        let cfg = SystemConfig::paper_base_uni();
+        let mut sim = Simulation::with_oltp(&cfg, OltpParams::default()).expect("valid workload");
+        sim.warm_up(5_000);
+        let report = sim.run(5_000);
+        assert!(report.breakdown.instructions > 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Whole-machine coherence invariants: arbitrary reference streams driven
+//! through the full simulator must leave the directory and every cache in
+//! a mutually consistent state (single dirty owner, RAC parking tracked
+//! correctly, L1 inclusion). This crosses csim-trace, csim-cache,
+//! csim-coherence, csim-config and csim-core.
+
+use proptest::prelude::*;
+
+use oltp_chip_integration::prelude::*;
+use oltp_chip_integration::config::CacheGeometry;
+use oltp_chip_integration::trace::SliceStream;
+
+fn tiny_config(nodes: usize, with_rac: bool) -> SystemConfig {
+    let l1 = CacheGeometry::new(512, 1, 64).unwrap();
+    let mut b = SystemConfig::builder();
+    b.nodes(nodes).l1(l1);
+    if with_rac {
+        // A RAC requires the fully-integrated level and an on-chip L2.
+        b.integration(IntegrationLevel::FullyIntegrated).l2_sram(4096, 2).rac(RacConfig {
+            geometry: CacheGeometry::new(8192, 2, 64).unwrap(),
+        });
+    } else {
+        b.l2_off_chip(4096, 2);
+    }
+    b.build().unwrap()
+}
+
+fn ref_strategy() -> impl Strategy<Value = MemRef> {
+    // A small page-spanning address pool so lines collide in the tiny
+    // caches and homes spread across nodes.
+    (0u64..64, 0usize..3).prop_map(|(line, kind)| {
+        let addr = line * 64 * 97 % (32 * 8192); // scatter across 32 pages
+        match kind {
+            0 => MemRef::ifetch(addr, ExecMode::User),
+            1 => MemRef::load(addr, ExecMode::User),
+            _ => MemRef::store(addr, ExecMode::Kernel),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_streams_preserve_coherence(
+        patterns in prop::collection::vec(
+            prop::collection::vec(ref_strategy(), 4..40), 2..=4),
+        with_rac in any::<bool>(),
+        steps in 50u64..400,
+    ) {
+        let nodes = patterns.len();
+        let cfg = tiny_config(nodes, with_rac);
+        let streams: Vec<SliceStream> =
+            patterns.iter().map(|p| SliceStream::cycle(p)).collect();
+        let mut sim = Simulation::new(&cfg, streams);
+        sim.run(steps);
+        prop_assert!(sim.verify_coherence().is_ok(),
+            "coherence violated: {:?}", sim.verify_coherence());
+    }
+
+    #[test]
+    fn migratory_and_shared_mixes_preserve_coherence(
+        writers in 1usize..4,
+        steps in 100u64..600,
+    ) {
+        // All nodes hammer the same few lines: worst-case ping-pong.
+        let nodes = 4;
+        let cfg = tiny_config(nodes, false);
+        let streams: Vec<SliceStream> = (0..nodes)
+            .map(|n| {
+                let mut refs = Vec::new();
+                for line in 0..6u64 {
+                    let addr = line * 8192 + 64; // one line per page, homes spread
+                    if n < writers {
+                        refs.push(MemRef::store(addr, ExecMode::User));
+                    }
+                    refs.push(MemRef::load(addr, ExecMode::User));
+                }
+                SliceStream::cycle(&refs)
+            })
+            .collect();
+        let mut sim = Simulation::new(&cfg, streams);
+        sim.run(steps);
+        prop_assert!(sim.verify_coherence().is_ok());
+    }
+}
+
+#[test]
+fn oltp_multiprocessor_run_preserves_coherence() {
+    let cfg = SystemConfig::builder()
+        .nodes(4)
+        .integration(IntegrationLevel::FullyIntegrated)
+        .l2_sram(256 << 10, 4)
+        .rac(RacConfig::paper())
+        .build()
+        .unwrap();
+    let mut sim = Simulation::with_oltp(&cfg, OltpParams::default()).unwrap();
+    sim.run(150_000);
+    sim.verify_coherence().expect("OLTP run must preserve coherence");
+}
+
+#[test]
+fn oltp_uniprocessor_run_preserves_coherence() {
+    let cfg = SystemConfig::paper_base_uni();
+    let mut sim = Simulation::with_oltp(&cfg, OltpParams::default()).unwrap();
+    sim.run(150_000);
+    sim.verify_coherence().expect("uniprocessor run must preserve coherence");
+}
