@@ -1,8 +1,14 @@
-//! Criterion microbenchmarks of the simulator's hot paths: cache
-//! accesses, directory protocol transitions, workload reference
-//! generation, and end-to-end simulation throughput.
+//! Microbenchmarks of the simulator's hot paths: cache accesses,
+//! directory protocol transitions, workload reference generation, and
+//! end-to-end simulation throughput.
+//!
+//! Hand-rolled harness (no external benchmarking crate, so the workspace
+//! builds hermetically): each benchmark is timed over a fixed operation
+//! count after a short warm-up, reporting ns/op and Mops/s. Set
+//! `CSIM_BENCH_QUICK=1` to cut iteration counts by 10x.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 
 use csim_cache::Cache;
 use csim_coherence::Directory;
@@ -11,91 +17,96 @@ use csim_core::Simulation;
 use csim_trace::ReferenceStream;
 use csim_workload::{OltpParams, OltpWorkload};
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(1));
-    let geom = CacheGeometry::new(2 << 20, 8, 64).unwrap();
-
-    g.bench_function("l2_hit", |b| {
-        let mut cache = Cache::new(geom);
-        cache.insert(42, false);
-        b.iter(|| cache.access(std::hint::black_box(42), false))
-    });
-
-    g.bench_function("l2_miss_insert_evict", |b| {
-        let mut cache = Cache::new(geom);
-        let mut line = 0u64;
-        b.iter(|| {
-            line = line.wrapping_add(4096); // new set each time
-            if cache.access(line, false).is_hit() {
-                return None;
-            }
-            cache.insert(line, false)
-        })
-    });
-    g.finish();
+fn iterations(base: u64) -> u64 {
+    if std::env::var("CSIM_BENCH_QUICK").is_ok_and(|v| v != "0") {
+        (base / 10).max(1)
+    } else {
+        base
+    }
 }
 
-fn bench_directory(c: &mut Criterion) {
-    let mut g = c.benchmark_group("directory");
-    g.throughput(Throughput::Elements(1));
-
-    g.bench_function("read_miss_cold", |b| {
-        b.iter_batched_ref(
-            || Directory::new(8, 64, 8192),
-            |dir| {
-                for line in 0..64u64 {
-                    std::hint::black_box(dir.read_miss(line, (line % 8) as u8));
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-
-    g.bench_function("migratory_write_write", |b| {
-        let mut dir = Directory::new(8, 64, 8192);
-        let mut node = 0u8;
-        dir.write_miss(7, 0);
-        b.iter(|| {
-            node = (node + 1) % 8;
-            std::hint::black_box(dir.write_miss(7, node))
-        })
-    });
-    g.finish();
+/// Times `f` over `n` calls (after `n / 10` warm-up calls) and prints one
+/// result line.
+fn bench(name: &str, n: u64, mut f: impl FnMut()) {
+    for _ in 0..n / 10 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let ns_per_op = elapsed.as_nanos() as f64 / n as f64;
+    println!(
+        "{name:<32} {n:>10} ops  {ns_per_op:>9.1} ns/op  {:>8.2} Mops/s",
+        1e3 / ns_per_op
+    );
 }
 
-fn bench_workload(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("next_ref", |b| {
-        let mut nodes = OltpWorkload::build(OltpParams::default(), 1).unwrap();
-        let stream = &mut nodes[0];
-        b.iter(|| std::hint::black_box(stream.next_ref()))
+fn bench_cache() {
+    let geom = CacheGeometry::new(2 << 20, 8, 64).expect("valid geometry");
+
+    let mut cache = Cache::new(geom);
+    cache.insert(42, false);
+    bench("cache/l2_hit", iterations(10_000_000), || {
+        black_box(cache.access(black_box(42), false));
     });
-    g.finish();
+
+    let mut cache = Cache::new(geom);
+    let mut line = 0u64;
+    bench("cache/l2_miss_insert_evict", iterations(10_000_000), || {
+        line = line.wrapping_add(4096); // new set each time
+        if !cache.access(line, false).is_hit() {
+            black_box(cache.insert(line, false));
+        }
+    });
 }
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulation");
-    g.sample_size(10);
-
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("uniprocessor_10k_refs", |b| {
-        let cfg = SystemConfig::paper_base_uni();
-        let mut sim = Simulation::with_oltp(&cfg, OltpParams::default()).unwrap();
-        sim.warm_up(200_000);
-        b.iter(|| std::hint::black_box(sim.run(10_000)))
+fn bench_directory() {
+    let mut dir = Directory::new(8, 64, 8192);
+    let mut line = 0u64;
+    bench("directory/read_miss_cold", iterations(2_000_000), || {
+        black_box(dir.read_miss(line, (line % 8) as u8));
+        line += 1;
     });
 
-    g.throughput(Throughput::Elements(8 * 10_000));
-    g.bench_function("mp8_10k_refs_per_node", |b| {
-        let cfg = SystemConfig::paper_base_mp8();
-        let mut sim = Simulation::with_oltp(&cfg, OltpParams::default()).unwrap();
-        sim.warm_up(100_000);
-        b.iter(|| std::hint::black_box(sim.run(10_000)))
+    let mut dir = Directory::new(8, 64, 8192);
+    let mut node = 0u8;
+    dir.write_miss(7, 0);
+    bench("directory/migratory_write", iterations(5_000_000), || {
+        node = (node + 1) % 8;
+        black_box(dir.write_miss(7, node));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_directory, bench_workload, bench_simulation);
-criterion_main!(benches);
+fn bench_workload() {
+    let mut nodes = OltpWorkload::build(OltpParams::default(), 1).expect("default params valid");
+    let stream = &mut nodes[0];
+    bench("workload/next_ref", iterations(10_000_000), || {
+        black_box(stream.next_ref());
+    });
+}
+
+fn bench_simulation() {
+    let cfg = SystemConfig::paper_base_uni();
+    let mut sim = Simulation::with_oltp(&cfg, OltpParams::default()).expect("default params valid");
+    sim.warm_up(200_000);
+    bench("simulation/uni_10k_refs", iterations(50), || {
+        black_box(sim.run(10_000));
+    });
+
+    let cfg = SystemConfig::paper_base_mp8();
+    let mut sim = Simulation::with_oltp(&cfg, OltpParams::default()).expect("default params valid");
+    sim.warm_up(100_000);
+    bench("simulation/mp8_10k_refs_per_node", iterations(20), || {
+        black_box(sim.run(10_000));
+    });
+}
+
+fn main() {
+    println!("{:<32} {:>10}      {:>9}        {:>8}", "benchmark", "ops", "time", "rate");
+    bench_cache();
+    bench_directory();
+    bench_workload();
+    bench_simulation();
+}

@@ -99,13 +99,13 @@ pub fn run_config(cfg: &SystemConfig, warm: u64, meas: u64) -> SimReport {
 /// Runs a sweep, one thread per configuration (harmless on one core,
 /// faster on many).
 pub fn run_sweep(sweep: &[Sweep], warm: u64, meas: u64) -> Vec<(String, SimReport)> {
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = sweep
             .iter()
             .map(|s| {
                 let label = s.label.clone();
                 let cfg = s.config.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let start = std::time::Instant::now();
                     let rep = run_config(&cfg, warm, meas);
                     eprintln!("  [{label}] done in {:.1}s", start.elapsed().as_secs_f64());
@@ -115,7 +115,6 @@ pub fn run_sweep(sweep: &[Sweep], warm: u64, meas: u64) -> Vec<(String, SimRepor
             .collect();
         handles.into_iter().map(|h| h.join().expect("sweep thread panicked")).collect()
     })
-    .expect("sweep scope panicked")
 }
 
 /// Builds the paper's normalized execution-time chart from sweep results.
@@ -184,25 +183,42 @@ pub fn comparison_table(metric: &str, rows: &[(&str, Option<f64>, f64)]) -> Text
 }
 
 /// Directory where experiment CSVs land (created on demand).
-pub fn results_dir() -> PathBuf {
+///
+/// # Errors
+///
+/// Fails when the directory cannot be created (read-only filesystem,
+/// permission, full disk).
+pub fn results_dir() -> std::io::Result<PathBuf> {
     let dir = std::env::var("CSIM_RESULTS").unwrap_or_else(|_| "results".to_string());
     let path = PathBuf::from(dir);
-    std::fs::create_dir_all(&path).expect("cannot create results directory");
-    path
+    std::fs::create_dir_all(&path)?;
+    Ok(path)
 }
 
 /// Writes one experiment's charts to `results/<name>.csv` plus one SVG
 /// rendering per chart (`results/<name>_<i>.svg`).
+///
+/// The result files are side artifacts of a bench run — the charts and
+/// claim checks have already been printed — so IO failure is reported as
+/// a warning rather than aborting the remaining figures.
 pub fn save_csv(name: &str, charts: &[&BarChart]) {
-    let path = results_dir().join(format!("{name}.csv"));
-    let mut f = std::fs::File::create(&path).expect("cannot create results csv");
+    if let Err(e) = try_save_csv(name, charts) {
+        eprintln!("  warning: could not write results for {name}: {e}");
+    }
+}
+
+fn try_save_csv(name: &str, charts: &[&BarChart]) -> std::io::Result<()> {
+    let dir = results_dir()?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path)?;
     for (i, chart) in charts.iter().enumerate() {
-        writeln!(f, "# {}", chart.title()).expect("csv write failed");
-        f.write_all(chart.to_csv().as_bytes()).expect("csv write failed");
-        let svg_path = results_dir().join(format!("{name}_{i}.svg"));
-        csim_stats::svg::write_file(chart, &svg_path).expect("cannot write results svg");
+        writeln!(f, "# {}", chart.title())?;
+        f.write_all(chart.to_csv().as_bytes())?;
+        let svg_path = dir.join(format!("{name}_{i}.svg"));
+        csim_stats::svg::write_file(chart, &svg_path)?;
     }
     eprintln!("  results written to {}", path.display());
+    Ok(())
 }
 
 /// Prints one figure: header, charts, claims; saves CSV; panics if any

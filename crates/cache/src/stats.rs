@@ -1,13 +1,11 @@
 //! Per-cache access statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by a [`Cache`](crate::Cache).
 ///
 /// These are raw per-cache counts; the simulator's reports aggregate and
 /// classify them further (e.g. splitting L2 misses into local / 2-hop /
 /// 3-hop).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that found their line resident.
     pub hits: u64,

@@ -3,8 +3,6 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
-use serde::{Deserialize, Serialize};
-
 use crate::node_set::{NodeId, NodeSet};
 
 /// Coherence state of one cache line, as recorded by the directory.
@@ -79,7 +77,7 @@ pub struct WriteOutcome {
 }
 
 /// Protocol event counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DirectoryStats {
     /// Read misses processed.
     pub read_misses: u64,
@@ -95,6 +93,11 @@ pub struct DirectoryStats {
     pub writebacks: u64,
     /// Downgrades (M -> S on a remote read).
     pub downgrades: u64,
+    /// Transactions NACKed at the directory controller. The protocol
+    /// state machine itself never refuses a request — NACKs are injected
+    /// by the fault model under contention — but the outcome is a
+    /// protocol event and is counted here with the rest.
+    pub nacks: u64,
 }
 
 // A fast, deterministic hasher for u64 line addresses (FxHash-style
@@ -192,6 +195,13 @@ impl Directory {
     /// Protocol counters accumulated so far.
     pub fn stats(&self) -> &DirectoryStats {
         &self.stats
+    }
+
+    /// Records `count` NACKed transactions at this directory. Called by
+    /// the simulator's fault-injection layer; the state machine itself
+    /// never NACKs.
+    pub fn record_nacks(&mut self, count: u64) {
+        self.stats.nacks += count;
     }
 
     /// Resets counters (end of warmup) without touching protocol state.
@@ -317,10 +327,12 @@ impl Directory {
     /// clean evictions are also legal, leaving a stale presence bit that
     /// only costs a spurious invalidation message later).
     pub fn drop_sharer(&mut self, line: u64, node: NodeId) {
-        if let Some(LineState::Shared(sharers)) = self.entries.get_mut(&line) {
-            sharers.remove(node);
-            if sharers.is_empty() {
-                *self.entries.get_mut(&line).expect("entry exists") = LineState::Uncached;
+        if let Some(state) = self.entries.get_mut(&line) {
+            if let LineState::Shared(sharers) = state {
+                sharers.remove(node);
+                if sharers.is_empty() {
+                    *state = LineState::Uncached;
+                }
             }
         }
     }

@@ -1,7 +1,5 @@
 //! Node identifiers and node bitmaps.
 
-use serde::{Deserialize, Serialize};
-
 /// A processor-node identifier. The full-map directory uses a 64-bit
 /// presence vector, so at most 64 nodes are supported (the paper uses 8).
 pub type NodeId = u8;
@@ -20,7 +18,7 @@ pub type NodeId = u8;
 /// assert!(s.contains(5));
 /// assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 5]);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct NodeSet(u64);
 
 impl NodeSet {

@@ -1,7 +1,5 @@
 //! Cache geometry.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ConfigError;
 
 /// Size, associativity and line size of a cache.
@@ -20,7 +18,7 @@ use crate::error::ConfigError;
 /// assert_eq!(g.lines(), 32768);
 /// # Ok::<(), csim_config::ConfigError>(())
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheGeometry {
     size_bytes: u64,
     assoc: u32,

@@ -1,7 +1,5 @@
 //! Integration levels and L2 implementation technology.
 
-use serde::{Deserialize, Serialize};
-
 use crate::geometry::CacheGeometry;
 
 /// Which system-level modules are integrated onto the processor die.
@@ -9,7 +7,7 @@ use crate::geometry::CacheGeometry;
 /// The paper successively moves the second-level cache (L2), the memory
 /// controller (MC), and the coherence controller / network router (CC/NR)
 /// onto the processor chip, measuring each step.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum IntegrationLevel {
     /// A conventional design with an unoptimized off-chip memory system
     /// ("Conservative Base" in Figure 3).
@@ -73,7 +71,7 @@ impl IntegrationLevel {
 }
 
 /// The implementation technology of the L2 data array.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum L2Kind {
     /// External SRAM (the off-chip designs). Capacity is unconstrained;
     /// direct-mapped organizations enjoy a faster hit time (25 vs 30
@@ -99,7 +97,7 @@ impl L2Kind {
 }
 
 /// Full description of the second-level cache.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct L2Config {
     /// Size / associativity / line size.
     pub geometry: CacheGeometry,

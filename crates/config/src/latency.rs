@@ -3,15 +3,13 @@
 //! All latencies are in processor cycles; the paper's processor runs at
 //! 1 GHz, so cycles equal nanoseconds.
 
-use serde::{Deserialize, Serialize};
-
 use crate::integration::{IntegrationLevel, L2Kind};
 
 /// Memory latencies for one system configuration, in cycles.
 ///
 /// The four columns of the paper's Figure 3, plus the two remote-access-
 /// cache latencies introduced in Section 6.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct LatencyTable {
     /// L2 hit (an L1 miss that hits in the L2).
     pub l2_hit: u64,

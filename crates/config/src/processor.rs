@@ -1,9 +1,7 @@
 //! Processor model selection.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of the out-of-order model (Section 7 of the paper).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OooParams {
     /// Issue width (the paper uses 4).
     pub issue_width: u32,
@@ -27,7 +25,7 @@ impl Default for OooParams {
 }
 
 /// Which processor timing model drives the simulation.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 #[derive(Default)]
 pub enum ProcessorModel {
     /// Single-issue pipelined in-order core (the paper's medium-speed SimOS
@@ -48,7 +46,6 @@ impl ProcessorModel {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,5 @@
 //! Full-system configuration and its builder.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ConfigError;
 use crate::geometry::CacheGeometry;
 use crate::integration::{IntegrationLevel, L2Config, L2Kind};
@@ -13,7 +11,7 @@ use crate::{L1_ASSOC, L1_SIZE, LINE_SIZE, MP_NODES};
 ///
 /// The RAC caches only remote data; its data lives in local main memory so
 /// hits cost the local-memory latency, while its tags live on-chip.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RacConfig {
     /// Size / associativity / line size of the RAC.
     pub geometry: CacheGeometry,
@@ -34,7 +32,7 @@ impl RacConfig {
 /// Construct with [`SystemConfig::builder`]; every accessor below is
 /// guaranteed consistent (the builder validates die limits, node counts and
 /// integration-level / L2-kind agreement).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SystemConfig {
     n_nodes: usize,
     cores_per_node: usize,

@@ -1,67 +1,74 @@
-//! Property tests for configuration validation and the latency tables.
-
-use proptest::prelude::*;
+//! Randomized property tests for configuration validation and the latency
+//! tables, driven by the workspace's deterministic [`SimRng`] (the
+//! workspace builds with no external crates, so these replace `proptest`
+//! with fixed-seed case generation — failures reproduce exactly).
 
 use csim_config::{
     CacheGeometry, ConfigError, IntegrationLevel, L2Kind, LatencyTable, SystemConfig,
 };
+use csim_trace::SimRng;
 
-proptest! {
-    #[test]
-    fn geometry_construction_is_total(
-        size in 0u64..(64 << 20),
-        assoc in 0u32..32,
-        line_shift in 0u32..12,
-    ) {
-        let line = 1u64 << line_shift;
+#[test]
+fn geometry_construction_is_total() {
+    let mut rng = SimRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..2000 {
+        let size = rng.gen_range(0..64 << 20);
+        let assoc = rng.gen_range(0..32) as u32;
+        let line = 1u64 << rng.gen_range(0..12);
         match CacheGeometry::new(size, assoc, line) {
             Ok(g) => {
-                prop_assert_eq!(g.size_bytes(), size);
-                prop_assert_eq!(g.sets() * u64::from(g.assoc()) * g.line_size(), size);
-                prop_assert_eq!(g.lines(), size / line);
+                assert_eq!(g.size_bytes(), size);
+                assert_eq!(g.sets() * u64::from(g.assoc()) * g.line_size(), size);
+                assert_eq!(g.lines(), size / line);
             }
             Err(e) => {
                 // Rejection must be for a stated reason.
-                prop_assert!(matches!(e, ConfigError::BadGeometry(_)));
-                prop_assert!(
-                    size == 0
-                        || assoc == 0
-                        || size % (line * u64::from(assoc.max(1))) != 0
+                assert!(matches!(e, ConfigError::BadGeometry(_)));
+                assert!(
+                    size == 0 || assoc == 0 || !size.is_multiple_of(line * u64::from(assoc.max(1))),
+                    "spurious rejection of size={size} assoc={assoc} line={line}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn valid_power_of_two_geometries_always_build(
-        size_shift in 10u32..24,
-        assoc_shift in 0u32..4,
-    ) {
-        let size = 1u64 << size_shift;
-        let assoc = 1u32 << assoc_shift;
-        let g = CacheGeometry::new(size, assoc, 64).unwrap();
-        prop_assert!(g.sets().is_power_of_two());
+#[test]
+fn valid_power_of_two_geometries_always_build() {
+    for size_shift in 10u32..24 {
+        for assoc_shift in 0u32..4 {
+            let size = 1u64 << size_shift;
+            let assoc = 1u32 << assoc_shift;
+            let g = CacheGeometry::new(size, assoc, 64).unwrap();
+            assert!(g.sets().is_power_of_two());
+        }
     }
+}
 
-    #[test]
-    fn more_integration_never_increases_any_latency(assoc in 1u32..=8) {
-        use IntegrationLevel::*;
-        // Compare the aggressive levels pairwise in integration order
-        // (Conservative Base is a separate, deliberately slow design and
-        // L2+MC deliberately raises remote latency, so compare only the
-        // monotone fields there).
+#[test]
+fn more_integration_never_increases_any_latency() {
+    use IntegrationLevel::*;
+    // Compare the aggressive levels pairwise in integration order
+    // (Conservative Base is a separate, deliberately slow design and
+    // L2+MC deliberately raises remote latency, so compare only the
+    // monotone fields there).
+    for assoc in 1u32..=8 {
         let base = LatencyTable::for_system(Base, L2Kind::OffChip, assoc);
         let l2 = LatencyTable::for_system(L2Integrated, L2Kind::OnChipSram, assoc);
         let full = LatencyTable::for_system(FullyIntegrated, L2Kind::OnChipSram, assoc);
-        prop_assert!(l2.l2_hit <= base.l2_hit);
-        prop_assert!(full.l2_hit <= l2.l2_hit);
-        prop_assert!(full.local <= l2.local);
-        prop_assert!(full.remote_clean <= l2.remote_clean);
-        prop_assert!(full.remote_dirty <= l2.remote_dirty);
+        assert!(l2.l2_hit <= base.l2_hit);
+        assert!(full.l2_hit <= l2.l2_hit);
+        assert!(full.local <= l2.local);
+        assert!(full.remote_clean <= l2.remote_clean);
+        assert!(full.remote_dirty <= l2.remote_dirty);
     }
+}
 
-    #[test]
-    fn builder_rejects_all_oversized_sram(extra_kb in 1u64..4096) {
+#[test]
+fn builder_rejects_all_oversized_sram() {
+    let mut rng = SimRng::seed_from_u64(0xD1E);
+    for _ in 0..200 {
+        let extra_kb = rng.gen_range(1..4096);
         let size = (2 << 20) + extra_kb * 1024;
         // Round to a legal geometry so only the die limit can fail.
         let size = size - size % (8 * 64);
@@ -69,26 +76,32 @@ proptest! {
             .integration(IntegrationLevel::L2Integrated)
             .l2_sram(size, 8)
             .build();
-        let is_die_limit = matches!(result, Err(ConfigError::L2TooLargeForDie { .. }));
-        prop_assert!(is_die_limit, "expected die-limit rejection, got {:?}", result);
+        assert!(
+            matches!(result, Err(ConfigError::L2TooLargeForDie { .. })),
+            "expected die-limit rejection for {size}, got {result:?}"
+        );
     }
+}
 
-    #[test]
-    fn node_counts_round_trip(nodes in 1usize..64) {
+#[test]
+fn node_counts_round_trip() {
+    for nodes in 1usize..64 {
         let cfg = SystemConfig::builder().nodes(nodes).build().unwrap();
-        prop_assert_eq!(cfg.n_nodes(), nodes);
+        assert_eq!(cfg.n_nodes(), nodes);
     }
+}
 
-    #[test]
-    fn summary_always_mentions_node_count_and_l2(
-        nodes in 1usize..16,
-        mb in 1u64..=8,
-    ) {
-        let cfg = SystemConfig::builder().nodes(nodes).l2_off_chip(mb << 20, 1).build().unwrap();
-        let s = cfg.summary();
-        let node_tag = format!("{nodes}p");
-        let l2_tag = format!("{mb}M1w");
-        prop_assert!(s.contains(&node_tag), "missing {} in {}", node_tag, s);
-        prop_assert!(s.contains(&l2_tag), "missing {} in {}", l2_tag, s);
+#[test]
+fn summary_always_mentions_node_count_and_l2() {
+    for nodes in 1usize..16 {
+        for mb in 1u64..=8 {
+            let cfg =
+                SystemConfig::builder().nodes(nodes).l2_off_chip(mb << 20, 1).build().unwrap();
+            let s = cfg.summary();
+            let node_tag = format!("{nodes}p");
+            let l2_tag = format!("{mb}M1w");
+            assert!(s.contains(&node_tag), "missing {node_tag} in {s}");
+            assert!(s.contains(&l2_tag), "missing {l2_tag} in {s}");
+        }
     }
 }

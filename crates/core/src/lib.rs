@@ -26,8 +26,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod error;
 mod report;
 mod sim;
 
+pub use error::{CoherenceViolation, SimError};
 pub use report::{MissBreakdown, RacStats, SimReport};
 pub use sim::Simulation;

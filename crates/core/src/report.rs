@@ -1,9 +1,8 @@
 //! Simulation reports: miss breakdowns and figure-ready bars.
 
-use serde::{Deserialize, Serialize};
-
 use csim_cache::CacheStats;
 use csim_coherence::DirectoryStats;
+use csim_fault::FaultStats;
 use csim_proc::ExecBreakdown;
 use csim_stats::Bar;
 
@@ -13,7 +12,7 @@ use csim_stats::Bar;
 /// Hits in a node's own remote access cache count as *local* (the RAC's
 /// data lives in local memory), mirroring the paper's Figure 11 where the
 /// RAC converts remote misses into local ones.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MissBreakdown {
     /// Instruction misses serviced locally (local home or RAC hit).
     pub instr_local: u64,
@@ -68,7 +67,7 @@ impl MissBreakdown {
 }
 
 /// Remote-access-cache effectiveness counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RacStats {
     /// L2 misses satisfied by the node's own RAC.
     pub hits: u64,
@@ -95,7 +94,11 @@ impl RacStats {
 }
 
 /// Everything one simulation run produced.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// `PartialEq` is field-by-field (floats included): two reports compare
+/// equal only when the runs were bit-identical, which is exactly what
+/// the determinism and zero-overhead regression tests assert.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
     /// One-line description of the simulated configuration.
     pub config_summary: String,
@@ -120,6 +123,9 @@ pub struct SimReport {
     pub transactions: u64,
     /// References processed per node during the measured window.
     pub refs_per_node: u64,
+    /// Fault-injection counters (all zero when no injector is wired in
+    /// or its plan is [`csim_fault::FaultPlan::none`]).
+    pub faults: FaultStats,
 }
 
 impl SimReport {
@@ -214,6 +220,7 @@ mod tests {
             upgrades: 0,
             transactions: 0,
             refs_per_node: 0,
+            faults: Default::default(),
         };
         let eb = report.exec_bar("x");
         assert_eq!(eb.component("RemStall"), Some(20.0));

@@ -5,11 +5,16 @@ use std::sync::Arc;
 use csim_cache::Cache;
 use csim_coherence::{Directory, FillSource, LineState, NodeId, NodeSet};
 use csim_config::{LatencyTable, SystemConfig, LINE_SIZE, PAGE_SIZE};
+use csim_fault::{FaultInjector, FaultStats, TransactionKind};
 use csim_proc::{ExecBreakdown, StallClass, Timing, TimingModel};
 use csim_trace::{MemRef, ReferenceStream};
-use csim_workload::{NodeWorkload, OltpParams, OltpWorkload, ParamsError, SharedOltpState};
+use csim_workload::{NodeWorkload, OltpParams, OltpWorkload, SharedOltpState};
 
+use crate::error::{CoherenceViolation, SimError};
 use crate::report::{MissBreakdown, RacStats, SimReport};
+
+/// The directory's node-set representation caps the machine size.
+const MAX_NODES: usize = 64;
 
 /// One processor core: private L1s, a timing model, and its share of the
 /// execution-time breakdown.
@@ -51,6 +56,7 @@ pub struct Simulation<S = NodeWorkload> {
     refs_run: u64,
     txn_source: Option<Arc<SharedOltpState>>,
     txn_baseline: u64,
+    injector: Option<FaultInjector>,
 }
 
 impl Simulation<NodeWorkload> {
@@ -58,11 +64,13 @@ impl Simulation<NodeWorkload> {
     ///
     /// # Errors
     ///
-    /// Returns [`ParamsError`] when the workload parameters are invalid.
-    pub fn with_oltp(cfg: &SystemConfig, params: OltpParams) -> Result<Self, ParamsError> {
+    /// Returns [`SimError::Params`] when the workload parameters are
+    /// invalid and [`SimError::TooManyNodes`] when the configuration
+    /// exceeds the directory's machine-size limit.
+    pub fn with_oltp(cfg: &SystemConfig, params: OltpParams) -> Result<Self, SimError> {
         let streams = OltpWorkload::build(params, cfg.total_cores())?;
         let shared = streams[0].shared_handle();
-        let mut sim = Simulation::new(cfg, streams);
+        let mut sim = Simulation::try_new(cfg, streams)?;
         sim.txn_source = Some(shared);
         Ok(sim)
     }
@@ -75,13 +83,29 @@ impl<S: ReferenceStream> Simulation<S> {
     ///
     /// Panics if `streams.len() != cfg.total_cores()` (one stream per
     /// core) or the node count exceeds the directory's 64-node limit.
+    /// [`Simulation::try_new`] is the non-panicking equivalent.
     pub fn new(cfg: &SystemConfig, streams: Vec<S>) -> Self {
-        assert_eq!(
-            streams.len(),
-            cfg.total_cores(),
-            "need exactly one reference stream per core"
-        );
-        assert!(cfg.n_nodes() <= 64, "directory supports at most 64 nodes");
+        Self::try_new(cfg, streams).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a simulation of `cfg` fed by the given per-node streams,
+    /// reporting invalid combinations as values instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::StreamCountMismatch`] unless `streams.len() ==
+    /// cfg.total_cores()`; [`SimError::TooManyNodes`] beyond the
+    /// directory's 64-node limit.
+    pub fn try_new(cfg: &SystemConfig, streams: Vec<S>) -> Result<Self, SimError> {
+        if streams.len() != cfg.total_cores() {
+            return Err(SimError::StreamCountMismatch {
+                streams: streams.len(),
+                cores: cfg.total_cores(),
+            });
+        }
+        if cfg.n_nodes() > MAX_NODES {
+            return Err(SimError::TooManyNodes { nodes: cfg.n_nodes(), max: MAX_NODES });
+        }
         let nodes = (0..cfg.n_nodes())
             .map(|_| Node {
                 cores: (0..cfg.cores_per_node())
@@ -99,7 +123,7 @@ impl<S: ReferenceStream> Simulation<S> {
                 upgrades: 0,
             })
             .collect();
-        Simulation {
+        Ok(Simulation {
             summary: cfg.summary(),
             latencies: cfg.latencies(),
             replicate_instructions: cfg.replicate_instructions(),
@@ -110,7 +134,27 @@ impl<S: ReferenceStream> Simulation<S> {
             refs_run: 0,
             txn_source: None,
             txn_baseline: 0,
-        }
+            injector: None,
+        })
+    }
+
+    /// Wires a fault injector into the simulation (builder style). An
+    /// injector whose plan is [`csim_fault::FaultPlan::none`] never
+    /// perturbs the run: the reports are bit-identical to a simulation
+    /// without one.
+    pub fn with_fault_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Wires a fault injector into an existing simulation.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Fault counters accumulated so far, when an injector is wired in.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.injector.as_ref().map(FaultInjector::stats)
     }
 
     /// Number of simulated nodes.
@@ -132,6 +176,33 @@ impl<S: ReferenceStream> Simulation<S> {
         self.report(refs_per_node)
     }
 
+    /// Strict mode: like [`Simulation::run`], but re-checks the
+    /// machine-wide coherence invariants every `check_every` references
+    /// per node (and once at the end), so a protocol bug is caught near
+    /// the reference that introduced it instead of at the end of a long
+    /// run. `check_every` is clamped to at least 1.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CoherenceViolation`] found, wrapped in
+    /// [`SimError::Coherence`].
+    pub fn run_verified(
+        &mut self,
+        refs_per_node: u64,
+        check_every: u64,
+    ) -> Result<SimReport, SimError> {
+        let every = check_every.max(1);
+        let mut remaining = refs_per_node;
+        while remaining > 0 {
+            let chunk = remaining.min(every);
+            self.advance(chunk);
+            self.verify_coherence()?;
+            remaining -= chunk;
+        }
+        self.verify_coherence()?;
+        Ok(self.report(refs_per_node))
+    }
+
     /// Clears every statistic (breakdowns, miss counts, cache and
     /// directory counters) without touching simulated state.
     pub fn reset_stats(&mut self) {
@@ -150,6 +221,9 @@ impl<S: ReferenceStream> Simulation<S> {
             }
         }
         self.dir.reset_stats();
+        if let Some(inj) = &mut self.injector {
+            inj.reset_stats();
+        }
         self.refs_run = 0;
         self.txn_baseline =
             self.txn_source.as_ref().map_or(0, |s| s.transactions_completed());
@@ -161,8 +235,10 @@ impl<S: ReferenceStream> Simulation<S> {
                 let r = self.streams[s].next_ref();
                 self.access(s / self.cores_per_node, s % self.cores_per_node, r);
             }
+            // `refs_run` doubles as the fault model's logical clock, so
+            // it advances per round, not per batch.
+            self.refs_run += 1;
         }
-        self.refs_run += refs_per_node;
     }
 
     fn report(&self, refs_per_node: u64) -> SimReport {
@@ -202,10 +278,53 @@ impl<S: ReferenceStream> Simulation<S> {
             upgrades,
             transactions,
             refs_per_node,
+            faults: self.injector.as_ref().map(|i| *i.stats()).unwrap_or_default(),
         }
     }
 
     // ---- the per-reference pipeline --------------------------------------
+
+    /// Charges one directory/memory transaction to a core, routing the
+    /// fault-free latency through the fault injector (NACK/retry, link
+    /// degradation, memory-controller busy periods) when one is wired
+    /// in. Pure L2 hits never come through here — they involve neither
+    /// the directory nor a memory controller.
+    fn charge(&mut self, n: usize, c: usize, class: StallClass, base: u64) {
+        let latency = match &mut self.injector {
+            None => base,
+            Some(inj) => {
+                let kind = match class {
+                    StallClass::L2Hit | StallClass::Local => TransactionKind::LocalMemory,
+                    StallClass::RemoteClean => TransactionKind::RemoteClean,
+                    StallClass::RemoteDirty => TransactionKind::RemoteDirty,
+                };
+                let nacks_before = inj.stats().nacks;
+                let latency = inj.transaction_latency(self.refs_run, kind, base);
+                let nacked = inj.stats().nacks - nacks_before;
+                if nacked > 0 {
+                    // NACK outcomes are protocol events: surface them in
+                    // the directory counters alongside the rest.
+                    self.dir.record_nacks(nacked);
+                }
+                latency
+            }
+        };
+        let core = &mut self.nodes[n].cores[c];
+        core.timing.stall(class, latency, &mut core.bd);
+    }
+
+    /// Rolls the fault model's NACK dice for one fire-and-forget
+    /// writeback message, surfacing any NACK in the directory counters.
+    fn writeback_fault_roll(&mut self) {
+        if let Some(inj) = &mut self.injector {
+            let nacks_before = inj.stats().nacks;
+            inj.writeback();
+            let nacked = inj.stats().nacks - nacks_before;
+            if nacked > 0 {
+                self.dir.record_nacks(nacked);
+            }
+        }
+    }
 
     fn access(&mut self, n: usize, c: usize, r: MemRef) {
         let line = r.line_addr(LINE_SIZE);
@@ -276,8 +395,7 @@ impl<S: ReferenceStream> Simulation<S> {
         } else {
             (StallClass::RemoteClean, self.latencies.remote_clean)
         };
-        let core = &mut node.cores[c];
-        core.timing.stall(class, latency, &mut core.bd);
+        self.charge(n, c, class, latency);
     }
 
     fn l2_miss(&mut self, n: usize, c: usize, r: MemRef, line: u64) {
@@ -285,11 +403,16 @@ impl<S: ReferenceStream> Simulation<S> {
         let write = r.access.is_write();
 
         // OS-replicated instruction pages: every node has a private local
-        // copy; no coherence involvement.
+        // copy; no coherence involvement, so only the local memory
+        // controller (never the directory) can slow the fetch down.
         if is_ifetch && self.replicate_instructions {
+            let mut latency = self.latencies.local;
+            if let Some(inj) = &mut self.injector {
+                latency += inj.memory_fetch_extra(self.refs_run);
+            }
             let node = &mut self.nodes[n];
             let core = &mut node.cores[c];
-            core.timing.stall(StallClass::Local, self.latencies.local, &mut core.bd);
+            core.timing.stall(StallClass::Local, latency, &mut core.bd);
             node.misses.instr_local += 1;
             self.fill(n, c, line, false, is_ifetch, write);
             return;
@@ -346,10 +469,9 @@ impl<S: ReferenceStream> Simulation<S> {
                 }
             }
         };
+        self.charge(n, c, class, latency);
         {
             let node = &mut self.nodes[n];
-            let core = &mut node.cores[c];
-            core.timing.stall(class, latency, &mut core.bd);
             match (is_ifetch, class) {
                 (true, StallClass::Local) => node.misses.instr_local += 1,
                 (true, _) => node.misses.instr_remote += 1,
@@ -391,8 +513,7 @@ impl<S: ReferenceStream> Simulation<S> {
             // Our own modified line comes back from the RAC into the L2.
             self.dir.owner_refetched_from_rac(line, n as NodeId);
             self.nodes[n].rac.as_mut().expect("rac exists").invalidate(line);
-            let core = &mut self.nodes[n].cores[c];
-            core.timing.stall(StallClass::Local, self.latencies.rac_hit, &mut core.bd);
+            self.charge(n, c, StallClass::Local, self.latencies.rac_hit);
             self.fill(n, c, line, true, is_ifetch, write);
             return;
         }
@@ -402,15 +523,12 @@ impl<S: ReferenceStream> Simulation<S> {
             let out = self.dir.write_miss(line, n as NodeId);
             debug_assert!(out.previous_owner.is_none(), "valid RAC copy excludes a remote owner");
             self.invalidate_nodes(out.invalidate, line);
-            let node = &mut self.nodes[n];
-            node.upgrades += 1;
-            let core = &mut node.cores[c];
-            core.timing.stall(StallClass::RemoteClean, self.latencies.remote_clean, &mut core.bd);
+            self.nodes[n].upgrades += 1;
+            self.charge(n, c, StallClass::RemoteClean, self.latencies.remote_clean);
             self.fill(n, c, line, true, is_ifetch, write);
             return;
         }
-        let core = &mut self.nodes[n].cores[c];
-        core.timing.stall(StallClass::Local, self.latencies.rac_hit, &mut core.bd);
+        self.charge(n, c, StallClass::Local, self.latencies.rac_hit);
         self.fill(n, c, line, false, is_ifetch, write);
     }
 
@@ -434,12 +552,14 @@ impl<S: ReferenceStream> Simulation<S> {
                         self.dir.owner_moved_to_rac(v.line, n as NodeId);
                         if rv.dirty {
                             self.dir.writeback(rv.line, n as NodeId);
+                            self.writeback_fault_roll();
                         }
                     } else {
                         self.dir.owner_moved_to_rac(v.line, n as NodeId);
                     }
                 } else {
                     self.dir.writeback(v.line, n as NodeId);
+                    self.writeback_fault_roll();
                 }
             }
         }
@@ -457,6 +577,7 @@ impl<S: ReferenceStream> Simulation<S> {
         if let Some(rv) = rac.insert(line, false) {
             if rv.dirty {
                 self.dir.writeback(rv.line, n as NodeId);
+                self.writeback_fault_roll();
             }
         }
     }
@@ -476,8 +597,9 @@ impl<S: ReferenceStream> Simulation<S> {
         }
     }
 
-    /// Checks the coherence invariants of the whole machine, returning a
-    /// description of the first violation found. Used by property tests;
+    /// Checks the coherence invariants of the whole machine, returning
+    /// the first violation found as a typed [`CoherenceViolation`]. Used
+    /// by property tests and strict mode ([`Simulation::run_verified`]);
     /// O(total cache capacity + directory size).
     ///
     /// Invariants:
@@ -487,14 +609,16 @@ impl<S: ReferenceStream> Simulation<S> {
     ///    line dirty.
     /// 3. A line not `Modified` is dirty in no L2 and no RAC.
     /// 4. L1 contents are a subset of the L2 (inclusion).
-    pub fn verify_coherence(&self) -> Result<(), String> {
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, with the line and location.
+    pub fn verify_coherence(&self) -> Result<(), CoherenceViolation> {
         for (line, state) in self.dir.iter() {
             match state {
                 LineState::Modified { owner, in_rac: false } => {
                     if !self.nodes[owner as usize].l2.is_dirty(line) {
-                        return Err(format!(
-                            "line {line:#x}: directory says M at node {owner} (L2) but L2 copy is not dirty"
-                        ));
+                        return Err(CoherenceViolation::NotDirtyInOwnerL2 { line, owner });
                     }
                 }
                 LineState::Modified { owner, in_rac: true } => {
@@ -504,22 +628,24 @@ impl<S: ReferenceStream> Simulation<S> {
                         .map(|r| r.is_dirty(line))
                         .unwrap_or(false);
                     if !ok {
-                        return Err(format!(
-                            "line {line:#x}: directory says M at node {owner} (RAC) but RAC copy is not dirty"
-                        ));
+                        return Err(CoherenceViolation::NotDirtyInOwnerRac { line, owner });
                     }
                 }
                 LineState::Shared(_) | LineState::Uncached => {
                     for (n, node) in self.nodes.iter().enumerate() {
                         if node.l2.is_dirty(line) {
-                            return Err(format!(
-                                "line {line:#x}: {state:?} in directory but dirty in node {n}'s L2"
-                            ));
+                            return Err(CoherenceViolation::DirtyWithoutOwnership {
+                                line,
+                                node: n,
+                                structure: "L2",
+                            });
                         }
                         if node.rac.as_ref().map(|r| r.is_dirty(line)).unwrap_or(false) {
-                            return Err(format!(
-                                "line {line:#x}: {state:?} in directory but dirty in node {n}'s RAC"
-                            ));
+                            return Err(CoherenceViolation::DirtyWithoutOwnership {
+                                line,
+                                node: n,
+                                structure: "RAC",
+                            });
                         }
                     }
                 }
@@ -529,9 +655,7 @@ impl<S: ReferenceStream> Simulation<S> {
             for core in &node.cores {
                 for line in core.l1i.resident_lines().chain(core.l1d.resident_lines()) {
                     if !node.l2.contains(line) {
-                        return Err(format!(
-                            "line {line:#x}: present in node {n}'s L1 but not its L2 (inclusion violated)"
-                        ));
+                        return Err(CoherenceViolation::InclusionViolated { line, node: n });
                     }
                 }
             }
@@ -1075,6 +1199,98 @@ mod tests {
         let mut sim = Simulation::with_oltp(&cfg, OltpParams::default()).unwrap();
         sim.run(60_000);
         sim.verify_coherence().unwrap();
+    }
+
+    #[test]
+    fn try_new_reports_mismatches_as_values() {
+        let cfg = tiny_cfg(2);
+        let err = Simulation::try_new(&cfg, vec![SliceStream::cycle(&[load(0)])]).unwrap_err();
+        assert_eq!(err, crate::SimError::StreamCountMismatch { streams: 1, cores: 2 });
+    }
+
+    #[test]
+    fn run_verified_matches_run_on_a_healthy_machine() {
+        let cfg = tiny_cfg(2);
+        let mk = || {
+            let s0 = SliceStream::cycle(&[store(addr_homed(0, 1, 2)), load(addr_homed(1, 2, 2))]);
+            let s1 = SliceStream::cycle(&[load(addr_homed(0, 1, 2)), store(addr_homed(1, 3, 2))]);
+            Simulation::new(&cfg, vec![s0, s1])
+        };
+        let plain = mk().run(500);
+        let verified = mk().run_verified(500, 50).expect("coherent");
+        assert_eq!(plain, verified, "strict mode must not perturb the simulation");
+    }
+
+    #[test]
+    fn inert_fault_injector_is_bit_identical_to_none() {
+        use csim_fault::{FaultInjector, FaultPlan};
+        let cfg = rac_cfg();
+        let streams = || {
+            vec![
+                SliceStream::cycle(&[store(addr_homed(1, 0, 2)), load(addr_homed(0, 4, 2))]),
+                SliceStream::cycle(&[load(addr_homed(1, 0, 2)), store(addr_homed(0, 7, 2))]),
+            ]
+        };
+        let mut bare = Simulation::new(&cfg, streams());
+        let mut wired = Simulation::new(&cfg, streams())
+            .with_fault_injector(FaultInjector::new(FaultPlan::none(), 42).unwrap());
+        bare.warm_up(200);
+        wired.warm_up(200);
+        assert_eq!(bare.run(1_000), wired.run(1_000));
+    }
+
+    #[test]
+    fn fault_storm_slows_the_machine_and_fills_the_counters() {
+        use csim_fault::{FaultInjector, FaultPlan};
+        let cfg = tiny_cfg(2);
+        let streams = || {
+            vec![
+                SliceStream::cycle(&[store(addr_homed(0, 1, 2)), load(addr_homed(1, 2, 2))]),
+                SliceStream::cycle(&[store(addr_homed(0, 1, 2)), load(addr_homed(1, 5, 2))]),
+            ]
+        };
+        let mut plan = FaultPlan::storm();
+        // Start the windows at 0 so the short test run sees them.
+        plan.link_faults[0].start = 0;
+        plan.mc_faults[0].start = 0;
+        let clean = Simulation::new(&cfg, streams()).run(2_000);
+        let mut sim = Simulation::new(&cfg, streams())
+            .with_fault_injector(FaultInjector::new(plan, 7).unwrap());
+        let faulty = sim.run(2_000);
+        assert!(faulty.faults.nacks > 0, "5% NACKs over thousands of txns must fire");
+        assert_eq!(
+            faulty.directory.nacks, faulty.faults.nacks,
+            "NACK outcomes surface in the directory counters too"
+        );
+        assert!(faulty.faults.retries > 0);
+        assert!(faulty.faults.degraded_txns > 0);
+        assert!(faulty.faults.mc_busy_txns > 0);
+        assert!(
+            faulty.breakdown.total_cycles() > clean.breakdown.total_cycles(),
+            "faults must cost cycles"
+        );
+        assert_eq!(
+            faulty.misses, clean.misses,
+            "faults change timing, never the reference stream or miss classification"
+        );
+        sim.verify_coherence().expect("fault injection must not corrupt coherence");
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_per_seed() {
+        use csim_fault::{FaultInjector, FaultPlan};
+        let cfg = tiny_cfg(2);
+        let run = |seed| {
+            let streams = vec![
+                SliceStream::cycle(&[store(addr_homed(0, 1, 2)), load(addr_homed(1, 2, 2))]),
+                SliceStream::cycle(&[load(addr_homed(0, 1, 2))]),
+            ];
+            let mut sim = Simulation::new(&cfg, streams)
+                .with_fault_injector(FaultInjector::new(FaultPlan::storm(), seed).unwrap());
+            sim.run(3_000)
+        };
+        assert_eq!(run(9), run(9), "same (plan, seed) must reproduce the report");
+        assert_ne!(run(9), run(10), "different fault seeds must diverge");
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! A deliberately small TOML subset: `[table]` / `[[table]]` headers and
+//! `key = value` pairs where values are integers, floats or booleans.
+//! That is all a fault plan needs, and it keeps the workspace free of
+//! external dependencies.
+
+use crate::plan::FaultPlanError;
+
+/// A parsed scalar value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum TomlValue {
+    Integer(u64),
+    Float(f64),
+    Bool(bool),
+}
+
+/// One `[table]` or `[[table]]` occurrence with its key/value entries
+/// (each tagged with the 1-based source line for error reporting).
+#[derive(Debug)]
+pub(crate) struct TomlItem {
+    pub table: String,
+    pub line: usize,
+    pub entries: Vec<(String, TomlValue, usize)>,
+}
+
+/// Parses the subset. Keys before any table header are rejected; so is
+/// anything that does not look like a header or a `key = value` pair.
+pub(crate) fn parse(input: &str) -> Result<Vec<TomlItem>, FaultPlanError> {
+    let mut items: Vec<TomlItem> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(name) = header(text) {
+            items.push(TomlItem { table: name.to_string(), line, entries: Vec::new() });
+            continue;
+        }
+        let Some((key, value)) = text.split_once('=') else {
+            return Err(FaultPlanError::Parse {
+                line,
+                message: format!("expected '[table]' or 'key = value', found '{text}'"),
+            });
+        };
+        let Some(item) = items.last_mut() else {
+            return Err(FaultPlanError::Parse {
+                line,
+                message: "key/value pair before any [table] header".to_string(),
+            });
+        };
+        item.entries.push((key.trim().to_string(), scalar(value.trim(), line)?, line));
+    }
+    Ok(items)
+}
+
+/// `[name]` and `[[name]]` both yield `name`; the distinction (single
+/// table vs array element) is irrelevant to the plan loader, which keys
+/// off the table name alone.
+fn header(text: &str) -> Option<&str> {
+    let inner = text.strip_prefix("[[").and_then(|t| t.strip_suffix("]]"));
+    let inner = inner.or_else(|| text.strip_prefix('[').and_then(|t| t.strip_suffix(']')));
+    let name = inner?.trim();
+    (!name.is_empty() && !name.contains(['[', ']'])).then_some(name)
+}
+
+fn scalar(text: &str, line: usize) -> Result<TomlValue, FaultPlanError> {
+    match text {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    if let Ok(v) = text.parse::<u64>() {
+        return Ok(TomlValue::Integer(v));
+    }
+    if let Ok(v) = text.parse::<f64>() {
+        if v.is_finite() {
+            return Ok(TomlValue::Float(v));
+        }
+    }
+    Err(FaultPlanError::Parse { line, message: format!("cannot parse value '{text}'") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_headers_values_and_comments() {
+        let items = parse("# intro\n[a]\nx = 1 # trailing\ny = 2.5\nz = true\n[[b]]\nw = 0\n")
+            .unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].table, "a");
+        assert_eq!(
+            items[0].entries,
+            vec![
+                ("x".to_string(), TomlValue::Integer(1), 3),
+                ("y".to_string(), TomlValue::Float(2.5), 4),
+                ("z".to_string(), TomlValue::Bool(true), 5),
+            ]
+        );
+        assert_eq!(items[1].table, "b");
+    }
+
+    #[test]
+    fn rejects_orphan_keys() {
+        let err = parse("x = 1\n").unwrap_err();
+        assert!(err.to_string().contains("before any"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        assert!(parse("[a]\nnot a pair\n").is_err());
+        assert!(parse("[a]\nx = what\n").is_err());
+        assert!(parse("[]\n").is_err());
+    }
+}

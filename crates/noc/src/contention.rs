@@ -5,10 +5,8 @@
 //! treated as an M/M/1 server: at utilization `rho` the expected
 //! residence time inflates by `1 / (1 - rho)`.
 
-use serde::{Deserialize, Serialize};
-
 /// M/M/1-style contention model for one link class.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Contention {
     /// Utilization cap beyond which the model saturates (queueing theory
     /// diverges at 1.0; real routers back-pressure first).
@@ -38,6 +36,24 @@ impl Contention {
     /// Inflates a base network latency for the given utilization.
     pub fn inflate(&self, base_cycles: f64, rho: f64) -> f64 {
         base_cycles * self.inflation(rho)
+    }
+
+    /// The inflation factor across a link degraded to `capacity_fraction`
+    /// of its nominal bandwidth (a transient fault, a failed lane, a
+    /// throttled SerDes): service time stretches by `1 / capacity` and
+    /// the offered load drives effective utilization to `rho / capacity`.
+    ///
+    /// At full capacity this reduces to [`Contention::inflation`]; an
+    /// idle link at full capacity inflates by exactly 1.0.
+    ///
+    /// ```
+    /// let c = csim_noc::Contention::default();
+    /// assert_eq!(c.degraded_inflation(0.0, 1.0), 1.0);
+    /// assert_eq!(c.degraded_inflation(0.0, 0.5), 2.0);
+    /// ```
+    pub fn degraded_inflation(&self, rho: f64, capacity_fraction: f64) -> f64 {
+        let capacity = capacity_fraction.clamp(0.01, 1.0);
+        self.inflation(rho / capacity) / capacity
     }
 
     /// Link utilization implied by a per-node miss stream: `misses_per
@@ -79,6 +95,19 @@ mod tests {
         let c = Contention::default();
         assert!(c.inflation(0.99).is_finite());
         assert_eq!(c.inflation(2.0), c.inflation(0.95));
+    }
+
+    #[test]
+    fn degraded_links_inflate_even_when_idle() {
+        let c = Contention::default();
+        assert_eq!(c.degraded_inflation(0.0, 1.0), 1.0);
+        assert_eq!(c.degraded_inflation(0.0, 0.25), 4.0);
+        // Load and degradation compound: worse than either alone.
+        let both = c.degraded_inflation(0.3, 0.5);
+        assert!(both > c.degraded_inflation(0.0, 0.5));
+        assert!(both > c.inflation(0.3));
+        // Saturation still applies instead of diverging.
+        assert!(c.degraded_inflation(0.9, 0.1).is_finite());
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Technology and router timing parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-hop router/link timing.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RouterParams {
     /// Router pipeline occupancy per hop (cycles).
     pub router_cycles: f64,
@@ -19,7 +17,7 @@ pub struct RouterParams {
 ///
 /// All values are in 1 GHz cycles (= ns). These are plain data so
 /// sensitivity studies can perturb individual entries.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TechParams {
     /// Crossing one chip boundary (driver + pad + board trace), one way.
     pub chip_crossing: f64,

@@ -1,11 +1,9 @@
 //! 2D torus topology (the Alpha 21364 interconnect).
 
-use serde::{Deserialize, Serialize};
-
 /// A `width x height` 2D torus of nodes, each connected to four
 /// neighbours with wraparound (the 21364's network; Figure 1B of the
 /// paper shows a 4x3 instance).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Torus2D {
     width: usize,
     height: usize,

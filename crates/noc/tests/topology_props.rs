@@ -1,66 +1,83 @@
-//! Property tests for the torus topology and latency derivation.
-
-use proptest::prelude::*;
+//! Randomized property tests for the torus topology and latency
+//! derivation (deterministic [`SimRng`]-driven cases; no external crates).
 
 use csim_config::IntegrationLevel;
 use csim_noc::{derive_latency_table, Contention, TechParams, Torus2D};
+use csim_trace::SimRng;
 
-proptest! {
-    #[test]
-    fn hops_form_a_metric(w in 1usize..8, h in 1usize..8) {
-        let t = Torus2D::new(w, h);
-        let n = t.nodes();
-        for a in 0..n {
-            prop_assert_eq!(t.hops(a, a), 0);
-            for b in 0..n {
-                prop_assert_eq!(t.hops(a, b), t.hops(b, a));
-                // Triangle inequality through an arbitrary midpoint.
-                for c in [0, n / 2, n - 1] {
-                    prop_assert!(t.hops(a, b) <= t.hops(a, c) + t.hops(c, b));
+#[test]
+fn hops_form_a_metric() {
+    for w in 1usize..8 {
+        for h in 1usize..8 {
+            let t = Torus2D::new(w, h);
+            let n = t.nodes();
+            for a in 0..n {
+                assert_eq!(t.hops(a, a), 0);
+                for b in 0..n {
+                    assert_eq!(t.hops(a, b), t.hops(b, a));
+                    // Triangle inequality through an arbitrary midpoint.
+                    for c in [0, n / 2, n - 1] {
+                        assert!(t.hops(a, b) <= t.hops(a, c) + t.hops(c, b));
+                    }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn mean_hops_bounded_by_diameter(w in 1usize..10, h in 1usize..10) {
-        let t = Torus2D::new(w, h);
-        prop_assert!(t.mean_hops() <= t.diameter() as f64 + 1e-12);
-        if t.nodes() > 1 {
-            prop_assert!(t.mean_hops() >= 1.0 - 1e-12, "nearest other node is 1 hop away");
+#[test]
+fn mean_hops_bounded_by_diameter() {
+    for w in 1usize..10 {
+        for h in 1usize..10 {
+            let t = Torus2D::new(w, h);
+            assert!(t.mean_hops() <= t.diameter() as f64 + 1e-12);
+            if t.nodes() > 1 {
+                assert!(t.mean_hops() >= 1.0 - 1e-12, "nearest other node is 1 hop away");
+            }
         }
     }
+}
 
-    #[test]
-    fn for_nodes_always_covers_n(n in 1usize..200) {
+#[test]
+fn for_nodes_always_covers_n() {
+    for n in 1usize..200 {
         let t = Torus2D::for_nodes(n);
-        prop_assert_eq!(t.nodes(), n);
+        assert_eq!(t.nodes(), n);
     }
+}
 
-    #[test]
-    fn derived_latencies_order_correctly(w in 1usize..6, h in 1usize..6) {
-        // For any topology, the physical ordering must hold: hit < local
-        // < remote clean < remote dirty.
-        let tech = TechParams::paper_018um();
-        let net = Torus2D::new(w, h);
-        for level in [
-            IntegrationLevel::Base,
-            IntegrationLevel::L2Integrated,
-            IntegrationLevel::FullyIntegrated,
-        ] {
-            let lat = derive_latency_table(level, &tech, &net);
-            prop_assert!(lat.l2_hit < lat.local);
-            prop_assert!(lat.local < lat.remote_clean);
-            prop_assert!(lat.remote_clean < lat.remote_dirty);
-            prop_assert!(lat.remote_dirty < lat.remote_dirty_in_rac);
+#[test]
+fn derived_latencies_order_correctly() {
+    // For any topology, the physical ordering must hold: hit < local
+    // < remote clean < remote dirty.
+    let tech = TechParams::paper_018um();
+    for w in 1usize..6 {
+        for h in 1usize..6 {
+            let net = Torus2D::new(w, h);
+            for level in [
+                IntegrationLevel::Base,
+                IntegrationLevel::L2Integrated,
+                IntegrationLevel::FullyIntegrated,
+            ] {
+                let lat = derive_latency_table(level, &tech, &net);
+                assert!(lat.l2_hit < lat.local);
+                assert!(lat.local < lat.remote_clean);
+                assert!(lat.remote_clean < lat.remote_dirty);
+                assert!(lat.remote_dirty < lat.remote_dirty_in_rac);
+            }
         }
     }
+}
 
-    #[test]
-    fn contention_inflation_is_monotone(a in 0.0f64..0.9, b in 0.0f64..0.9) {
-        let c = Contention::default();
+#[test]
+fn contention_inflation_is_monotone() {
+    let c = Contention::default();
+    let mut rng = SimRng::seed_from_u64(0x10C);
+    for _ in 0..1000 {
+        let a = rng.gen_f64() * 0.9;
+        let b = rng.gen_f64() * 0.9;
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(c.inflation(lo) <= c.inflation(hi));
-        prop_assert!(c.inflation(lo) >= 1.0);
+        assert!(c.inflation(lo) <= c.inflation(hi));
+        assert!(c.inflation(lo) >= 1.0);
     }
 }

@@ -1,10 +1,8 @@
 //! Execution-time breakdowns.
 
-use serde::{Deserialize, Serialize};
-
 /// Which bucket of the paper's execution-time breakdown a stall belongs
 /// to.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum StallClass {
     /// An L1 miss that hit in the L2.
     L2Hit,
@@ -22,7 +20,7 @@ pub enum StallClass {
 /// All values are in processor cycles (equal to nanoseconds at the paper's
 /// 1 GHz clock). Passive data: fields are public and the struct is plain
 /// old data.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ExecBreakdown {
     /// Instructions retired.
     pub instructions: u64,

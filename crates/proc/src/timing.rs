@@ -1,7 +1,6 @@
 //! In-order and out-of-order timing models.
 
 use csim_config::{OooParams, ProcessorModel};
-use serde::{Deserialize, Serialize};
 
 use crate::breakdown::{ExecBreakdown, StallClass};
 
@@ -56,7 +55,7 @@ impl TimingModel for InOrderTiming {
 /// Defaults reproduce the paper's 1.4x (uniprocessor) and 1.3x
 /// (multiprocessor) OOO gains on the Base configurations; see
 /// EXPERIMENTS.md.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OooCalibration {
     /// Busy cycles per instruction (dependency-limited issue, > 1/width).
     pub base_cpi: f64,

@@ -1,9 +1,7 @@
 //! Stacked bar charts in the paper's style.
 
-use serde::{Deserialize, Serialize};
-
 /// One stacked bar: a label plus named, ordered components.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Bar {
     label: String,
     components: Vec<(String, f64)>,
@@ -56,7 +54,7 @@ impl Bar {
 
 /// A chart of stacked bars, rendered the way the paper prints its figures:
 /// the first bar is typically normalized to 100.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BarChart {
     title: String,
     bars: Vec<Bar>,

@@ -1,90 +1,98 @@
-//! Property tests for the reporting layer.
-
-use proptest::prelude::*;
+//! Randomized property tests for the reporting layer (deterministic
+//! [`SimRng`]-driven cases; no external crates).
 
 use csim_stats::{Bar, BarChart, TextTable};
+use csim_trace::SimRng;
 
-fn bar_strategy() -> impl Strategy<Value = Vec<(String, f64)>> {
-    prop::collection::vec(("[a-z]{1,8}", 0.0f64..1e6), 1..6)
+/// 1..=5 components of (short lowercase name, value in [0, 1e6)).
+fn random_components(rng: &mut SimRng) -> Vec<(String, f64)> {
+    let n = rng.gen_range_usize(1..6);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range_usize(1..9);
+            let name: String =
+                (0..len).map(|_| (b'a' + rng.gen_range(0..26) as u8) as char).collect();
+            (name, rng.gen_f64() * 1e6)
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn normalization_sets_first_bar_to_100(
-        bars in prop::collection::vec(bar_strategy(), 1..8),
-    ) {
-        let mut chart = BarChart::new("t");
-        for (i, components) in bars.iter().enumerate() {
-            let mut bar = Bar::new(format!("b{i}"));
-            for (name, value) in components {
-                bar = bar.with(name.clone(), *value);
-            }
-            chart.push(bar);
+fn random_chart(rng: &mut SimRng, title: &str, label_prefix: &str, max_bars: usize) -> BarChart {
+    let n_bars = rng.gen_range_usize(1..max_bars + 1);
+    let mut chart = BarChart::new(title);
+    for i in 0..n_bars {
+        let mut bar = Bar::new(format!("{label_prefix}{i}"));
+        for (name, value) in random_components(rng) {
+            bar = bar.with(name, value);
         }
+        chart.push(bar);
+    }
+    chart
+}
+
+#[test]
+fn normalization_sets_first_bar_to_100() {
+    let mut rng = SimRng::seed_from_u64(0xBA5);
+    for _ in 0..200 {
+        let chart = random_chart(&mut rng, "t", "b", 8);
         let norm = chart.normalized_to_first();
         let first_total = chart.bars()[0].total();
         if first_total > 0.0 {
-            prop_assert!((norm.bars()[0].total() - 100.0).abs() < 1e-6);
+            assert!((norm.bars()[0].total() - 100.0).abs() < 1e-6);
             // Ratios between bars are preserved.
             for (orig, normed) in chart.bars().iter().zip(norm.bars()) {
                 let expected = orig.total() / first_total * 100.0;
-                prop_assert!((normed.total() - expected).abs() < 1e-6);
+                assert!((normed.total() - expected).abs() < 1e-6);
             }
         } else {
-            prop_assert_eq!(norm, chart);
+            assert_eq!(norm, chart);
         }
     }
+}
 
-    #[test]
-    fn render_never_panics_and_shows_every_label(
-        bars in prop::collection::vec(bar_strategy(), 1..6),
-        width in 1usize..120,
-    ) {
-        let mut chart = BarChart::new("render");
-        for (i, components) in bars.iter().enumerate() {
-            let mut bar = Bar::new(format!("label{i}"));
-            for (name, value) in components {
-                bar = bar.with(name.clone(), *value);
-            }
-            chart.push(bar);
-        }
+#[test]
+fn render_never_panics_and_shows_every_label() {
+    let mut rng = SimRng::seed_from_u64(0x4E4D);
+    for _ in 0..100 {
+        let chart = random_chart(&mut rng, "render", "label", 6);
+        let width = rng.gen_range_usize(1..120);
         let s = chart.render(width);
-        for i in 0..bars.len() {
+        for i in 0..chart.bars().len() {
             let label = format!("label{i}");
-            prop_assert!(s.contains(&label), "missing {}", label);
+            assert!(s.contains(&label), "missing {label}");
         }
     }
+}
 
-    #[test]
-    fn csv_has_one_row_per_component(
-        bars in prop::collection::vec(bar_strategy(), 1..6),
-    ) {
-        let mut chart = BarChart::new("csv");
-        let mut component_count = 0;
-        for (i, components) in bars.iter().enumerate() {
-            let mut bar = Bar::new(format!("b{i}"));
-            for (name, value) in components {
-                bar = bar.with(name.clone(), *value);
-                component_count += 1;
-            }
-            chart.push(bar);
-        }
+#[test]
+fn csv_has_one_row_per_component() {
+    let mut rng = SimRng::seed_from_u64(0xC57);
+    for _ in 0..200 {
+        let chart = random_chart(&mut rng, "csv", "b", 6);
+        let component_count: usize = chart.bars().iter().map(|b| b.components().len()).sum();
         let csv = chart.to_csv();
-        prop_assert_eq!(csv.lines().count(), component_count + 1);
+        assert_eq!(csv.lines().count(), component_count + 1);
     }
+}
 
-    #[test]
-    fn tables_render_rectangularly(
-        rows in prop::collection::vec(
-            prop::collection::vec("[a-z0-9]{0,10}", 3..=3), 0..10),
-    ) {
+#[test]
+fn tables_render_rectangularly() {
+    let mut rng = SimRng::seed_from_u64(0x7AB);
+    for _ in 0..100 {
+        let n_rows = rng.gen_range_usize(0..10);
         let mut t = TextTable::new(vec!["a", "b", "c"]);
-        for row in &rows {
-            t.row(row.clone());
+        for _ in 0..n_rows {
+            let row: Vec<String> = (0..3)
+                .map(|_| {
+                    let len = rng.gen_range_usize(0..11);
+                    (0..len).map(|_| (b'a' + rng.gen_range(0..26) as u8) as char).collect()
+                })
+                .collect();
+            t.row(row);
         }
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
-        prop_assert_eq!(lines.len(), rows.len() + 2);
-        prop_assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert_eq!(lines.len(), n_rows + 2);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
     }
 }

@@ -27,9 +27,11 @@
 mod addr;
 mod codec;
 mod mem_ref;
+mod rng;
 mod stream;
 
 pub use addr::{line_addr, page_addr, Addr, DEFAULT_LINE_SIZE, DEFAULT_PAGE_SIZE};
 pub use codec::{ReplayStream, TraceReader, TraceWriter};
 pub use mem_ref::{Access, ExecMode, MemRef};
+pub use rng::SimRng;
 pub use stream::{FnStream, InterleavedStream, ReferenceStream, SliceStream};

@@ -1,11 +1,9 @@
 //! The dynamic memory reference type.
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::{line_addr, page_addr, Addr};
 
 /// The kind of a dynamic memory access.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Access {
     /// An instruction fetch.
     InstrFetch,
@@ -46,7 +44,7 @@ impl Access {
 /// The paper reports that roughly 25% of OLTP execution time is spent in the
 /// kernel; the workload generator tags every reference so the simulator can
 /// report the user/kernel split.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ExecMode {
     /// User-level (database engine, clients).
     User,
@@ -55,7 +53,7 @@ pub enum ExecMode {
 }
 
 /// One dynamic memory reference issued by a processor.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct MemRef {
     /// Physical byte address.
     pub addr: Addr,

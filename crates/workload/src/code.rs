@@ -8,11 +8,9 @@
 //! blocks (spatial locality inside a line/page) and a large overall hot
 //! text footprint that overwhelms a 64 KB L1I.
 
-use rand::Rng;
-
 use crate::layout::{AddressMap, Region};
 use crate::zipf::ZipfTable;
-use csim_trace::Addr;
+use csim_trace::{Addr, SimRng};
 
 /// A code segment: `n_funcs` functions of `func_lines` lines each.
 #[derive(Clone, Debug)]
@@ -59,12 +57,12 @@ impl CodeRegion {
     }
 
     /// Starts execution at a popularity-sampled function.
-    pub fn entry<R: Rng>(&self, rng: &mut R) -> CodeCursor {
+    pub fn entry(&self, rng: &mut SimRng) -> CodeCursor {
         // Scramble the sampled popularity rank so that hot functions are
         // spread across the region rather than packed at its start —
         // otherwise the hot text would occupy one contiguous prefix and
         // dodge direct-mapped conflicts unrealistically.
-        let rank = self.popularity.sample(rng.gen::<f64>());
+        let rank = self.popularity.sample(rng.gen_f64());
         let func = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15 | 1) % self.n_funcs();
         CodeCursor { func, line: 0, instr: 0 }
     }
@@ -73,7 +71,7 @@ impl CodeRegion {
     /// instruction's address. Jumps to a new function after the last
     /// instruction of the current one.
     #[inline]
-    pub fn step<R: Rng>(&self, cursor: &mut CodeCursor, rng: &mut R, map: &AddressMap) -> Addr {
+    pub fn step(&self, cursor: &mut CodeCursor, rng: &mut SimRng, map: &AddressMap) -> Addr {
         let line_idx = cursor.func * self.func_lines + cursor.line;
         let addr = map.line_addr(self.region, line_idx) + cursor.instr * 4;
         cursor.instr += 1;
@@ -99,8 +97,7 @@ pub struct CodeCursor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use csim_trace::SimRng;
 
     fn region() -> CodeRegion {
         CodeRegion::new(Region::DbCode, 1024, 8, 16, 0.8)
@@ -117,7 +114,7 @@ mod tests {
     fn fetch_is_sequential_within_a_function() {
         let r = region();
         let map = AddressMap::new(1);
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = SimRng::seed_from_u64(5);
         let mut cur = r.entry(&mut rng);
         let first = r.step(&mut cur, &mut rng, &map);
         let second = r.step(&mut cur, &mut rng, &map);
@@ -135,20 +132,20 @@ mod tests {
     fn execution_jumps_at_function_end() {
         let r = region();
         let map = AddressMap::new(1);
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = SimRng::seed_from_u64(5);
         let mut cur = CodeCursor::default(); // function 0, start
         // Execute exactly one function: 8 lines * 16 instructions.
         for _ in 0..(8 * 16) {
             r.step(&mut cur, &mut rng, &map);
         }
         // The cursor has jumped somewhere fresh (line/instr reset).
-        assert_eq!(cur.line * 0 + cur.instr, 0);
+        assert_eq!((cur.line, cur.instr), (0, 0));
     }
 
     #[test]
     fn popularity_makes_some_functions_hot() {
         let r = region();
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = SimRng::seed_from_u64(5);
         let mut counts = vec![0u32; r.n_funcs() as usize];
         for _ in 0..20_000 {
             let c = r.entry(&mut rng);
@@ -165,7 +162,7 @@ mod tests {
         let r = region();
         let map = AddressMap::new(1);
         let run = || {
-            let mut rng = SmallRng::seed_from_u64(9);
+            let mut rng = SimRng::seed_from_u64(9);
             let mut cur = r.entry(&mut rng);
             (0..1000).map(|_| r.step(&mut cur, &mut rng, &map)).collect::<Vec<_>>()
         };

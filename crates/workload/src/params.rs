@@ -8,7 +8,6 @@
 //! metadata in multiprocessor runs, and a cold stream (account rows,
 //! history, log I/O) that no cache captures.
 
-use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
@@ -34,7 +33,7 @@ impl Error for ParamsError {}
 ///
 /// Plain data with public fields; call [`OltpParams::validate`] after
 /// hand-editing, or rely on [`OltpParams::default`] which is always valid.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OltpParams {
     /// Master RNG seed; every process stream derives from it.
     pub seed: u64,

@@ -14,10 +14,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-use csim_trace::{Addr, ExecMode, MemRef, ReferenceStream};
+use csim_trace::{Addr, ExecMode, MemRef, ReferenceStream, SimRng};
 
 use crate::code::{CodeCursor, CodeRegion};
 use crate::layout::{AddressMap, Region};
@@ -46,8 +43,12 @@ impl SharedOltpState {
         self.txns_completed.load(Relaxed)
     }
 
+    // The dirty queue is a bounded ring of addresses with no cross-field
+    // invariants, so a poisoned lock (another stream thread panicked while
+    // holding it) leaves it perfectly usable: recover the guard instead of
+    // propagating the panic into every surviving stream.
     fn push_dirty(&self, addr: Addr) {
-        let mut q = self.recent_dirty.lock().expect("dirty queue poisoned");
+        let mut q = self.recent_dirty.lock().unwrap_or_else(|e| e.into_inner());
         if q.len() >= 256 {
             q.pop_front();
         }
@@ -55,7 +56,7 @@ impl SharedOltpState {
     }
 
     fn pop_dirty(&self, n: usize) -> Vec<Addr> {
-        let mut q = self.recent_dirty.lock().expect("dirty queue poisoned");
+        let mut q = self.recent_dirty.lock().unwrap_or_else(|e| e.into_inner());
         let take = n.min(q.len());
         q.drain(..take).collect()
     }
@@ -184,7 +185,7 @@ pub struct NodeWorkload {
     kernel_code: Arc<CodeRegion>,
     meta_zipf: Arc<ZipfTable>,
     shared_read_zipf: Arc<ZipfTable>,
-    rng: SmallRng,
+    rng: SimRng,
     servers: Vec<ServerState>,
     cur_server: usize,
     rounds: u64,
@@ -227,7 +228,7 @@ impl NodeWorkload {
             .seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(u64::from(node).wrapping_mul(0xbf58_476d_1ce4_e5b9));
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let servers = (0..params.servers_per_node)
             .map(|_| ServerState {
                 phase: Phase::Pipe,
@@ -353,7 +354,7 @@ impl NodeWorkload {
         for _ in 0..n {
             let addr = code.step(&mut cursor, &mut self.rng, &self.map);
             self.buf.push_back(MemRef::ifetch(addr, mode));
-            let roll: f64 = self.rng.gen();
+            let roll: f64 = self.rng.gen_f64();
             if roll < p_load {
                 let a = self.background_target(kernel, server, false);
                 self.push_data(a, false, mode);
@@ -396,8 +397,8 @@ impl NodeWorkload {
     /// Picks the target of a background data reference, preferring a
     /// recently used line with probability `bg_reuse`.
     fn background_target(&mut self, kernel: bool, server: u16, write: bool) -> Addr {
-        if self.rng.gen::<f64>() < self.params.bg_reuse {
-            let idx = self.rng.gen_range(0..4usize);
+        if self.rng.gen_f64() < self.params.bg_reuse {
+            let idx = self.rng.gen_range_usize(0..4);
             let recent = if server == u16::MAX {
                 &self.daemon_recent
             } else {
@@ -420,11 +421,11 @@ impl NodeWorkload {
     fn fresh_background_target(&mut self, kernel: bool, server: u16, write: bool) -> Addr {
         let server_idx = if server == u16::MAX { 0 } else { server };
         if kernel {
-            if write && self.rng.gen::<f64>() < self.params.k_shared_store_fraction {
+            if write && self.rng.gen_f64() < self.params.k_shared_store_fraction {
                 let line = self.rng.gen_range(0..self.params.kernel_shared_lines);
                 return self.map.line_addr(Region::KernelShared, line);
             }
-            let roll: f64 = self.rng.gen();
+            let roll: f64 = self.rng.gen_f64();
             if roll < self.k_stack {
                 let line = self.rng.gen_range(0..self.params.kernel_stack_lines);
                 self.map.line_addr(Region::KernelStack { node: self.node, server: server_idx }, line)
@@ -436,12 +437,12 @@ impl NodeWorkload {
                 self.map.line_addr(Region::KernelShared, line)
             }
         } else if write {
-            let roll: f64 = self.rng.gen();
+            let roll: f64 = self.rng.gen_f64();
             if roll < self.ustore_private {
                 let line = self.rng.gen_range(0..self.params.pga_hot_lines);
                 self.map.line_addr(Region::Pga { node: self.node, server: server_idx }, line)
             } else if roll < self.ustore_meta {
-                let u: f64 = self.rng.gen();
+                let u: f64 = self.rng.gen_f64();
                 self.meta_addr(self.meta_zipf.sample(u))
             } else {
                 let line = self.rng.gen_range(0..self.params.work_area_lines);
@@ -449,19 +450,19 @@ impl NodeWorkload {
                     .line_addr(Region::WorkArea { node: self.node, server: server_idx }, line)
             }
         } else {
-            let roll: f64 = self.rng.gen();
+            let roll: f64 = self.rng.gen_f64();
             if roll < self.uload_private {
                 let line = self.rng.gen_range(0..self.params.pga_hot_lines);
                 self.map.line_addr(Region::Pga { node: self.node, server: server_idx }, line)
             } else if roll < self.uload_meta {
-                let u: f64 = self.rng.gen();
+                let u: f64 = self.rng.gen_f64();
                 self.meta_addr(self.meta_zipf.sample(u))
             } else if roll < self.uload_work {
                 let line = self.rng.gen_range(0..self.params.work_area_lines);
                 self.map
                     .line_addr(Region::WorkArea { node: self.node, server: server_idx }, line)
             } else {
-                let u: f64 = self.rng.gen();
+                let u: f64 = self.rng.gen_f64();
                 let line = self.shared_read_zipf.sample(u);
                 self.map.line_addr(Region::SharedRead, line)
             }
@@ -619,7 +620,7 @@ impl NodeWorkload {
         let half = self.params.dbwr_instrs / 2;
         self.run_code(false, u16::MAX, half);
         for _ in 0..40 {
-            let u: f64 = self.rng.gen();
+            let u: f64 = self.rng.gen_f64();
             let addr = self.meta_addr(self.meta_zipf.sample(u));
             self.push_data(addr, false, ExecMode::User);
         }

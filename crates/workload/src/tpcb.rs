@@ -9,7 +9,7 @@
 //! (40 ultra-hot migratory branch lines, 400 hot teller lines with false
 //! sharing, and a cold random account stream).
 
-use rand::Rng;
+use csim_trace::SimRng;
 
 use crate::layout::{Region, LINE_BYTES};
 use crate::params::OltpParams;
@@ -68,7 +68,7 @@ impl Schema {
     }
 
     /// Draws a teller uniformly; the transaction's branch is the teller's.
-    pub fn pick_teller<R: Rng>(&self, rng: &mut R) -> u64 {
+    pub fn pick_teller(&self, rng: &mut SimRng) -> u64 {
         rng.gen_range(0..self.branches * self.tellers_per_branch)
     }
 
@@ -79,8 +79,8 @@ impl Schema {
 
     /// Draws the account for a transaction at `branch`, following TPC-B's
     /// 85/15 home/remote rule.
-    pub fn pick_account<R: Rng>(&self, rng: &mut R, branch: u64) -> u64 {
-        if rng.gen::<f64>() < self.home_fraction {
+    pub fn pick_account(&self, rng: &mut SimRng, branch: u64) -> u64 {
+        if rng.gen_f64() < self.home_fraction {
             branch * self.accounts_per_branch + rng.gen_range(0..self.accounts_per_branch)
         } else {
             rng.gen_range(0..self.branches * self.accounts_per_branch)
@@ -158,8 +158,7 @@ pub enum Table {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use csim_trace::SimRng;
 
     fn schema() -> Schema {
         Schema::new(&OltpParams::default())
@@ -183,7 +182,7 @@ mod tests {
     #[test]
     fn home_rule_biases_account_choice() {
         let s = schema();
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         let branch = 7u64;
         let lo = branch * 100_000;
         let hi = lo + 100_000;

@@ -16,6 +16,10 @@
 //!   --ooo                4-wide out-of-order core (default in-order)
 //!   --warm N / --meas N  references per node (default 2M / 2M)
 //!   --seed N             workload seed
+//!   --fault-plan FILE    TOML fault plan (see examples/fault_storm.toml)
+//!   --fault-seed N       fault-injection seed (default 0, independent
+//!                        of the workload seed)
+//!   --strict N           re-verify coherence every N refs/node
 //! ```
 
 use oltp_chip_integration::prelude::*;
@@ -34,6 +38,9 @@ struct Args {
     warm: u64,
     meas: u64,
     seed: Option<u64>,
+    fault_plan: Option<String>,
+    fault_seed: u64,
+    strict: Option<u64>,
 }
 
 impl Default for Args {
@@ -51,6 +58,9 @@ impl Default for Args {
             warm: 2_000_000,
             meas: 2_000_000,
             seed: None,
+            fault_plan: None,
+            fault_seed: 0,
+            strict: None,
         }
     }
 }
@@ -101,6 +111,13 @@ fn parse_args() -> Result<Args, String> {
             "--warm" => args.warm = value("--warm")?.parse().map_err(|e| format!("{e}"))?,
             "--meas" => args.meas = value("--meas")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = Some(value("--seed")?.parse().map_err(|e| format!("{e}"))?),
+            "--fault-plan" => args.fault_plan = Some(value("--fault-plan")?),
+            "--fault-seed" => {
+                args.fault_seed = value("--fault-seed")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--strict" => {
+                args.strict = Some(value("--strict")?.parse().map_err(|e| format!("{e}"))?)
+            }
             "--help" | "-h" => {
                 println!("see the module docs at the top of src/bin/csim.rs for usage");
                 std::process::exit(0);
@@ -135,7 +152,17 @@ fn build_config(a: &Args) -> Result<SystemConfig, Box<dyn std::error::Error>> {
     Ok(b.build()?)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() {
+    // Print errors through their Display impls (the typed errors carry
+    // user-facing messages) rather than the Debug dump a `main() ->
+    // Result` would produce, and exit nonzero so scripts can gate on us.
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> {
         format!("{e} (try --help)").into()
     })?;
@@ -154,8 +181,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     eprintln!("warming {} refs/node, measuring {} refs/node ...", args.warm, args.meas);
 
     let mut sim = Simulation::with_oltp(&cfg, params)?;
+    if let Some(path) = &args.fault_plan {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read fault plan '{path}': {e}"))?;
+        let plan = FaultPlan::from_toml_str(&text)?;
+        eprintln!(
+            "fault plan: {path} (nack prob {}, {} link window(s), {} MC window(s)), seed {}",
+            plan.nack.prob,
+            plan.link_faults.len(),
+            plan.mc_faults.len(),
+            args.fault_seed
+        );
+        sim.set_fault_injector(FaultInjector::new(plan, args.fault_seed)?);
+    }
     sim.warm_up(args.warm);
-    let rep = sim.run(args.meas);
+    let rep = match args.strict {
+        Some(every) => sim.run_verified(args.meas, every)?,
+        None => sim.run(args.meas),
+    };
 
     let chart = BarChart::new("execution time breakdown")
         .with_bar(rep.exec_bar("cycles"))
@@ -187,6 +230,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     t.row(vec!["transactions".into(), rep.transactions.to_string()]);
     t.row(vec!["writebacks".into(), rep.directory.writebacks.to_string()]);
     t.row(vec!["invalidations sent".into(), rep.directory.invalidations_sent.to_string()]);
+    if args.fault_plan.is_some() {
+        let f = &rep.faults;
+        t.row(vec!["NACKs / retries".into(), format!("{} / {}", f.nacks, f.retries)]);
+        t.row(vec!["backoff cycles".into(), f.backoff_cycles.to_string()]);
+        t.row(vec!["retry cycles (total)".into(), f.retry_cycles.to_string()]);
+        t.row(vec!["watchdog trips".into(), f.watchdog_trips.to_string()]);
+        t.row(vec![
+            "degraded txns / cycles".into(),
+            format!("{} / {}", f.degraded_txns, f.degraded_extra_cycles),
+        ]);
+        t.row(vec![
+            "MC-busy txns / cycles".into(),
+            format!("{} / {}", f.mc_busy_txns, f.mc_extra_cycles),
+        ]);
+        t.row(vec!["fault extra cycles".into(), f.total_extra_cycles().to_string()]);
+    }
     println!("{}", t.render());
     Ok(())
 }

@@ -13,6 +13,9 @@
 //! * [`coherence`] — the full-map directory protocol for the 8-node
 //!   CC-NUMA machine, including remote-access-cache bookkeeping.
 //! * [`proc`] — in-order and out-of-order processor timing models.
+//! * [`fault`] — deterministic fault injection (directory NACKs with
+//!   retry/backoff, link degradation, memory-controller busy periods)
+//!   for robustness experiments.
 //! * [`sim`] — the full-system simulator tying everything together.
 //! * [`stats`] — normalized stacked-bar charts and text tables in the
 //!   paper's reporting style.
@@ -41,6 +44,7 @@ pub use csim_cache as cache;
 pub use csim_coherence as coherence;
 pub use csim_config as config;
 pub use csim_core as sim;
+pub use csim_fault as fault;
 pub use csim_noc as noc;
 pub use csim_proc as proc;
 pub use csim_stats as stats;
@@ -53,7 +57,8 @@ pub mod prelude {
         CacheGeometry, IntegrationLevel, L2Kind, LatencyTable, OooParams, ProcessorModel,
         RacConfig, SystemConfig,
     };
-    pub use csim_core::{MissBreakdown, SimReport, Simulation};
+    pub use csim_core::{CoherenceViolation, MissBreakdown, SimError, SimReport, Simulation};
+    pub use csim_fault::{FaultInjector, FaultPlan, FaultStats};
     pub use csim_proc::{ExecBreakdown, StallClass};
     pub use csim_stats::{Bar, BarChart, TextTable};
     pub use csim_trace::{Access, ExecMode, MemRef, ReferenceStream};
