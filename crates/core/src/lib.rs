@@ -27,9 +27,11 @@
 //! ```
 
 mod error;
+mod export;
 mod report;
 mod sim;
 
 pub use error::{CoherenceViolation, SimError};
+pub use export::{run_report_json, RUN_REPORT_SCHEMA};
 pub use report::{MissBreakdown, RacStats, SimReport};
 pub use sim::Simulation;

@@ -3,6 +3,7 @@
 use csim_cache::CacheStats;
 use csim_coherence::DirectoryStats;
 use csim_fault::FaultStats;
+use csim_obs::json::Json;
 use csim_proc::ExecBreakdown;
 use csim_stats::Bar;
 
@@ -158,6 +159,98 @@ impl SimReport {
             self.misses.total() as f64 * 1000.0 / self.breakdown.instructions as f64
         }
     }
+
+    /// The whole report as deterministic JSON: same report, same bytes.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("config_summary", Json::str(&self.config_summary)),
+            ("refs_per_node", Json::UInt(self.refs_per_node)),
+            ("transactions", Json::UInt(self.transactions)),
+            ("upgrades", Json::UInt(self.upgrades)),
+            ("mpki", Json::Float(self.mpki())),
+            ("breakdown", breakdown_json(&self.breakdown)),
+            ("per_node", Json::Arr(self.per_node.iter().map(breakdown_json).collect())),
+            ("misses", misses_json(&self.misses)),
+            ("directory", directory_json(&self.directory)),
+            ("l1i", cache_json(&self.l1i)),
+            ("l1d", cache_json(&self.l1d)),
+            (
+                "rac",
+                Json::obj([
+                    ("hits", Json::UInt(self.rac.hits)),
+                    ("misses", Json::UInt(self.rac.misses)),
+                    ("hit_rate", Json::Float(self.rac.hit_rate())),
+                ]),
+            ),
+            ("faults", faults_json(&self.faults)),
+        ])
+    }
+}
+
+fn breakdown_json(bd: &ExecBreakdown) -> Json {
+    Json::obj([
+        ("instructions", Json::UInt(bd.instructions)),
+        ("busy_cycles", Json::Float(bd.busy_cycles)),
+        ("l2_hit_cycles", Json::Float(bd.l2_hit_cycles)),
+        ("local_cycles", Json::Float(bd.local_cycles)),
+        ("remote_clean_cycles", Json::Float(bd.remote_clean_cycles)),
+        ("remote_dirty_cycles", Json::Float(bd.remote_dirty_cycles)),
+        ("total_cycles", Json::Float(bd.total_cycles())),
+        ("cpi", Json::Float(bd.cpi())),
+        ("cpu_utilization", Json::Float(bd.cpu_utilization())),
+    ])
+}
+
+fn misses_json(m: &MissBreakdown) -> Json {
+    Json::obj([
+        ("instr_local", Json::UInt(m.instr_local)),
+        ("instr_remote", Json::UInt(m.instr_remote)),
+        ("data_local", Json::UInt(m.data_local)),
+        ("data_remote_clean", Json::UInt(m.data_remote_clean)),
+        ("data_remote_dirty", Json::UInt(m.data_remote_dirty)),
+        ("cold", Json::UInt(m.cold)),
+        ("total", Json::UInt(m.total())),
+    ])
+}
+
+fn directory_json(d: &DirectoryStats) -> Json {
+    Json::obj([
+        ("read_misses", Json::UInt(d.read_misses)),
+        ("write_misses", Json::UInt(d.write_misses)),
+        ("invalidating_writes", Json::UInt(d.invalidating_writes)),
+        ("invalidations_sent", Json::UInt(d.invalidations_sent)),
+        ("three_hop_fills", Json::UInt(d.three_hop_fills)),
+        ("writebacks", Json::UInt(d.writebacks)),
+        ("downgrades", Json::UInt(d.downgrades)),
+        ("nacks", Json::UInt(d.nacks)),
+    ])
+}
+
+fn cache_json(c: &CacheStats) -> Json {
+    Json::obj([
+        ("hits", Json::UInt(c.hits)),
+        ("misses", Json::UInt(c.misses)),
+        ("write_hits", Json::UInt(c.write_hits)),
+        ("write_misses", Json::UInt(c.write_misses)),
+        ("evictions", Json::UInt(c.evictions)),
+        ("dirty_evictions", Json::UInt(c.dirty_evictions)),
+        ("invalidations", Json::UInt(c.invalidations)),
+    ])
+}
+
+fn faults_json(f: &FaultStats) -> Json {
+    Json::obj([
+        ("nacks", Json::UInt(f.nacks)),
+        ("retries", Json::UInt(f.retries)),
+        ("backoff_cycles", Json::UInt(f.backoff_cycles)),
+        ("retry_cycles", Json::UInt(f.retry_cycles)),
+        ("watchdog_trips", Json::UInt(f.watchdog_trips)),
+        ("degraded_txns", Json::UInt(f.degraded_txns)),
+        ("degraded_extra_cycles", Json::UInt(f.degraded_extra_cycles)),
+        ("mc_busy_txns", Json::UInt(f.mc_busy_txns)),
+        ("mc_extra_cycles", Json::UInt(f.mc_extra_cycles)),
+        ("total_extra_cycles", Json::UInt(f.total_extra_cycles())),
+    ])
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use csim_cache::Cache;
 use csim_coherence::{Directory, FillSource, LineState, NodeId, NodeSet};
 use csim_config::{LatencyTable, SystemConfig, LINE_SIZE, PAGE_SIZE};
 use csim_fault::{FaultInjector, FaultStats, TransactionKind};
+use csim_obs::{EpochSnapshot, Event, EventKind, MissClass, Observer};
 use csim_proc::{ExecBreakdown, StallClass, Timing, TimingModel};
 use csim_trace::{MemRef, ReferenceStream};
 use csim_workload::{NodeWorkload, OltpParams, OltpWorkload, SharedOltpState};
@@ -57,6 +58,7 @@ pub struct Simulation<S = NodeWorkload> {
     txn_source: Option<Arc<SharedOltpState>>,
     txn_baseline: u64,
     injector: Option<FaultInjector>,
+    observer: Observer,
 }
 
 impl Simulation<NodeWorkload> {
@@ -135,6 +137,7 @@ impl<S: ReferenceStream> Simulation<S> {
             txn_source: None,
             txn_baseline: 0,
             injector: None,
+            observer: Observer::disabled(),
         })
     }
 
@@ -155,6 +158,26 @@ impl<S: ReferenceStream> Simulation<S> {
     /// Fault counters accumulated so far, when an injector is wired in.
     pub fn fault_stats(&self) -> Option<&FaultStats> {
         self.injector.as_ref().map(FaultInjector::stats)
+    }
+
+    /// Wires an observer into the simulation (builder style). The
+    /// observer is strictly read-only with respect to the simulation:
+    /// wiring one in — enabled or not — leaves every [`SimReport`]
+    /// bit-identical to a run without it.
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Wires an observer into an existing simulation.
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
+    }
+
+    /// The observer (disabled by default), for reading back what it
+    /// recorded.
+    pub fn observer(&self) -> &Observer {
+        &self.observer
     }
 
     /// Number of simulated nodes.
@@ -224,12 +247,14 @@ impl<S: ReferenceStream> Simulation<S> {
         if let Some(inj) = &mut self.injector {
             inj.reset_stats();
         }
+        self.observer.reset();
         self.refs_run = 0;
         self.txn_baseline =
             self.txn_source.as_ref().map_or(0, |s| s.transactions_completed());
     }
 
     fn advance(&mut self, refs_per_node: u64) {
+        let epoch = self.observer.epoch_len();
         for _ in 0..refs_per_node {
             for s in 0..self.streams.len() {
                 let r = self.streams[s].next_ref();
@@ -238,7 +263,37 @@ impl<S: ReferenceStream> Simulation<S> {
             // `refs_run` doubles as the fault model's logical clock, so
             // it advances per round, not per batch.
             self.refs_run += 1;
+            if let Some(e) = epoch {
+                if self.refs_run.is_multiple_of(e) {
+                    self.close_epoch();
+                }
+            }
         }
+    }
+
+    /// Hands the observer a cumulative snapshot of the machine-wide
+    /// counters at an epoch boundary. O(nodes x cores): cheap relative
+    /// to the epoch of work it closes.
+    fn close_epoch(&mut self) {
+        let mut breakdown = ExecBreakdown::default();
+        let mut misses = 0;
+        let mut upgrades = 0;
+        for node in &self.nodes {
+            for core in &node.cores {
+                breakdown.merge(&core.bd);
+            }
+            misses += node.misses.total();
+            upgrades += node.upgrades;
+        }
+        self.observer.close_epoch(EpochSnapshot {
+            refs_per_node: self.refs_run,
+            breakdown,
+            misses,
+            upgrades,
+            nacks: self.dir.stats().nacks,
+            faults: self.injector.as_ref().map(|i| *i.stats()).unwrap_or_default(),
+            retry_rho: self.injector.as_ref().map_or(0.0, FaultInjector::retry_utilization),
+        });
     }
 
     fn report(&self, refs_per_node: u64) -> SimReport {
@@ -289,40 +344,111 @@ impl<S: ReferenceStream> Simulation<S> {
     /// degradation, memory-controller busy periods) when one is wired
     /// in. Pure L2 hits never come through here — they involve neither
     /// the directory nor a memory controller.
-    fn charge(&mut self, n: usize, c: usize, class: StallClass, base: u64) {
-        let latency = match &mut self.injector {
-            None => base,
+    fn charge(&mut self, n: usize, c: usize, class: StallClass, base: u64, obs: MissClass, line: u64) {
+        let (latency, faults) = match &mut self.injector {
+            None => (base, None),
             Some(inj) => {
                 let kind = match class {
                     StallClass::L2Hit | StallClass::Local => TransactionKind::LocalMemory,
                     StallClass::RemoteClean => TransactionKind::RemoteClean,
                     StallClass::RemoteDirty => TransactionKind::RemoteDirty,
                 };
-                let nacks_before = inj.stats().nacks;
+                let before = *inj.stats();
                 let latency = inj.transaction_latency(self.refs_run, kind, base);
-                let nacked = inj.stats().nacks - nacks_before;
-                if nacked > 0 {
-                    // NACK outcomes are protocol events: surface them in
-                    // the directory counters alongside the rest.
-                    self.dir.record_nacks(nacked);
-                }
-                latency
+                (latency, Some(inj.stats().delta(&before)))
             }
         };
+        if let Some(d) = &faults {
+            if d.nacks > 0 {
+                // NACK outcomes are protocol events: surface them in
+                // the directory counters alongside the rest.
+                self.dir.record_nacks(d.nacks);
+            }
+            self.note_fault_outcomes(n, c, line, d);
+        }
+        self.observer.record_latency(obs, latency);
+        if self.observer.wants_events() {
+            self.observer.record_event(Event {
+                at: self.refs_run,
+                node: n as u16,
+                core: c as u16,
+                line,
+                kind: EventKind::Miss { class: obs, latency },
+            });
+        }
         let core = &mut self.nodes[n].cores[c];
         core.timing.stall(class, latency, &mut core.bd);
     }
 
-    /// Rolls the fault model's NACK dice for one fire-and-forget
-    /// writeback message, surfacing any NACK in the directory counters.
-    fn writeback_fault_roll(&mut self) {
+    /// Surfaces what the fault injector did to one transaction in the
+    /// observer: the NACK/retry extra cycles feed the
+    /// [`MissClass::NackRetry`] histogram, and each outcome becomes a
+    /// traced event.
+    fn note_fault_outcomes(&mut self, n: usize, c: usize, line: u64, d: &FaultStats) {
+        if d.nacks == 0 && d.watchdog_trips == 0 {
+            return;
+        }
+        if d.nacks > 0 {
+            self.observer.record_latency(MissClass::NackRetry, d.retry_cycles);
+        }
+        if !self.observer.wants_events() {
+            return;
+        }
+        let (at, node, core) = (self.refs_run, n as u16, c as u16);
+        if d.nacks > 0 {
+            self.observer.record_event(Event {
+                at,
+                node,
+                core,
+                line,
+                kind: EventKind::Nack { count: d.nacks as u32 },
+            });
+        }
+        if d.retries > 0 {
+            self.observer.record_event(Event {
+                at,
+                node,
+                core,
+                line,
+                kind: EventKind::Retry { count: d.retries as u32 },
+            });
+        }
+        if d.watchdog_trips > 0 {
+            self.observer.record_event(Event { at, node, core, line, kind: EventKind::Watchdog });
+        }
+    }
+
+    /// A dirty line leaves node `n` for its home: directory writeback,
+    /// the fault model's NACK dice for the fire-and-forget message
+    /// (NACKs surface in the directory counters), and a traced
+    /// writeback event.
+    fn writeback(&mut self, n: usize, line: u64) {
+        self.dir.writeback(line, n as NodeId);
         if let Some(inj) = &mut self.injector {
             let nacks_before = inj.stats().nacks;
             inj.writeback();
             let nacked = inj.stats().nacks - nacks_before;
             if nacked > 0 {
                 self.dir.record_nacks(nacked);
+                if self.observer.wants_events() {
+                    self.observer.record_event(Event {
+                        at: self.refs_run,
+                        node: n as u16,
+                        core: 0,
+                        line,
+                        kind: EventKind::Nack { count: nacked as u32 },
+                    });
+                }
             }
+        }
+        if self.observer.wants_events() {
+            self.observer.record_event(Event {
+                at: self.refs_run,
+                node: n as u16,
+                core: 0,
+                line,
+                kind: EventKind::Writeback,
+            });
         }
     }
 
@@ -356,8 +482,19 @@ impl<S: ReferenceStream> Simulation<S> {
             if write {
                 self.ensure_ownership(n, c, line);
             }
+            let latency = self.latencies.l2_hit;
+            self.observer.record_latency(MissClass::L2Hit, latency);
+            if self.observer.wants_events() {
+                self.observer.record_event(Event {
+                    at: self.refs_run,
+                    node: n as u16,
+                    core: c as u16,
+                    line,
+                    kind: EventKind::Miss { class: MissClass::L2Hit, latency },
+                });
+            }
             let core = &mut self.nodes[n].cores[c];
-            core.timing.stall(StallClass::L2Hit, self.latencies.l2_hit, &mut core.bd);
+            core.timing.stall(StallClass::L2Hit, latency, &mut core.bd);
             let l1 = if is_ifetch { &mut core.l1i } else { &mut core.l1d };
             let _ = l1.insert(line, write);
             return;
@@ -382,20 +519,22 @@ impl<S: ReferenceStream> Simulation<S> {
             out.previous_owner.is_none(),
             "a cached line cannot be modified elsewhere (line {line:#x})"
         );
-        self.invalidate_nodes(out.invalidate, line);
+        self.invalidate_nodes(n, out.invalidate, line);
         let node = &mut self.nodes[n];
         node.l2.mark_dirty(line);
         node.upgrades += 1;
         let local = out.home == n as NodeId;
         if local && out.invalidate.is_empty() {
-            return; // purely local ownership update
+            // Purely local ownership update: free, so it is invisible to
+            // the latency observer too (no MissClass::Upgrade record).
+            return;
         }
         let (class, latency) = if local {
             (StallClass::Local, self.latencies.local)
         } else {
             (StallClass::RemoteClean, self.latencies.remote_clean)
         };
-        self.charge(n, c, class, latency);
+        self.charge(n, c, class, latency, MissClass::Upgrade, line);
     }
 
     fn l2_miss(&mut self, n: usize, c: usize, r: MemRef, line: u64) {
@@ -409,6 +548,16 @@ impl<S: ReferenceStream> Simulation<S> {
             let mut latency = self.latencies.local;
             if let Some(inj) = &mut self.injector {
                 latency += inj.memory_fetch_extra(self.refs_run);
+            }
+            self.observer.record_latency(MissClass::Local, latency);
+            if self.observer.wants_events() {
+                self.observer.record_event(Event {
+                    at: self.refs_run,
+                    node: n as u16,
+                    core: c as u16,
+                    line,
+                    kind: EventKind::Miss { class: MissClass::Local, latency },
+                });
             }
             let node = &mut self.nodes[n];
             let core = &mut node.cores[c];
@@ -453,7 +602,7 @@ impl<S: ReferenceStream> Simulation<S> {
         if let Some(owner) = previous_owner {
             self.invalidate_all_at(owner as usize, line);
         }
-        self.invalidate_nodes(invalidate, line);
+        self.invalidate_nodes(n, invalidate, line);
 
         // Classify, charge, count.
         let (class, latency) = match source {
@@ -469,7 +618,7 @@ impl<S: ReferenceStream> Simulation<S> {
                 }
             }
         };
-        self.charge(n, c, class, latency);
+        self.charge(n, c, class, latency, MissClass::from_stall(class), line);
         {
             let node = &mut self.nodes[n];
             match (is_ifetch, class) {
@@ -513,7 +662,7 @@ impl<S: ReferenceStream> Simulation<S> {
             // Our own modified line comes back from the RAC into the L2.
             self.dir.owner_refetched_from_rac(line, n as NodeId);
             self.nodes[n].rac.as_mut().expect("rac exists").invalidate(line);
-            self.charge(n, c, StallClass::Local, self.latencies.rac_hit);
+            self.charge(n, c, StallClass::Local, self.latencies.rac_hit, MissClass::Local, line);
             self.fill(n, c, line, true, is_ifetch, write);
             return;
         }
@@ -522,13 +671,14 @@ impl<S: ReferenceStream> Simulation<S> {
             // at the (remote) home, data supplied locally by the RAC.
             let out = self.dir.write_miss(line, n as NodeId);
             debug_assert!(out.previous_owner.is_none(), "valid RAC copy excludes a remote owner");
-            self.invalidate_nodes(out.invalidate, line);
+            self.invalidate_nodes(n, out.invalidate, line);
             self.nodes[n].upgrades += 1;
-            self.charge(n, c, StallClass::RemoteClean, self.latencies.remote_clean);
+            let latency = self.latencies.remote_clean;
+            self.charge(n, c, StallClass::RemoteClean, latency, MissClass::Upgrade, line);
             self.fill(n, c, line, true, is_ifetch, write);
             return;
         }
-        self.charge(n, c, StallClass::Local, self.latencies.rac_hit);
+        self.charge(n, c, StallClass::Local, self.latencies.rac_hit, MissClass::Local, line);
         self.fill(n, c, line, false, is_ifetch, write);
     }
 
@@ -551,15 +701,13 @@ impl<S: ReferenceStream> Simulation<S> {
                     } else if let Some(rv) = rac.insert(v.line, true) {
                         self.dir.owner_moved_to_rac(v.line, n as NodeId);
                         if rv.dirty {
-                            self.dir.writeback(rv.line, n as NodeId);
-                            self.writeback_fault_roll();
+                            self.writeback(n, rv.line);
                         }
                     } else {
                         self.dir.owner_moved_to_rac(v.line, n as NodeId);
                     }
                 } else {
-                    self.dir.writeback(v.line, n as NodeId);
-                    self.writeback_fault_roll();
+                    self.writeback(n, v.line);
                 }
             }
         }
@@ -576,8 +724,7 @@ impl<S: ReferenceStream> Simulation<S> {
         }
         if let Some(rv) = rac.insert(line, false) {
             if rv.dirty {
-                self.dir.writeback(rv.line, n as NodeId);
-                self.writeback_fault_roll();
+                self.writeback(n, rv.line);
             }
         }
     }
@@ -594,6 +741,15 @@ impl<S: ReferenceStream> Simulation<S> {
         } else {
             let cleaned = node.l2.clean(line);
             debug_assert!(cleaned, "directory said the owner's copy is in its L2");
+        }
+        if self.observer.wants_events() {
+            self.observer.record_event(Event {
+                at: self.refs_run,
+                node: owner as u16,
+                core: 0,
+                line,
+                kind: EventKind::Downgrade,
+            });
         }
     }
 
@@ -663,9 +819,20 @@ impl<S: ReferenceStream> Simulation<S> {
         Ok(())
     }
 
-    fn invalidate_nodes(&mut self, set: NodeSet, line: u64) {
+    /// Invalidates `line` at every node in `set` on behalf of writer
+    /// `requester`, tracing one invalidation event covering the batch.
+    fn invalidate_nodes(&mut self, requester: usize, set: NodeSet, line: u64) {
         for m in set {
             self.invalidate_all_at(m as usize, line);
+        }
+        if !set.is_empty() && self.observer.wants_events() {
+            self.observer.record_event(Event {
+                at: self.refs_run,
+                node: requester as u16,
+                core: 0,
+                line,
+                kind: EventKind::Invalidation { targets: set.len() },
+            });
         }
     }
 

@@ -57,6 +57,24 @@ impl FaultStats {
         self.retry_cycles + self.degraded_extra_cycles + self.mc_extra_cycles
     }
 
+    /// The component-wise change from `earlier` to `self`. The
+    /// observability layer diffs counter snapshots with this to derive
+    /// per-transaction and per-epoch fault activity; `earlier` must be
+    /// an earlier snapshot of the same accumulator.
+    pub fn delta(&self, earlier: &FaultStats) -> FaultStats {
+        FaultStats {
+            nacks: self.nacks - earlier.nacks,
+            retries: self.retries - earlier.retries,
+            backoff_cycles: self.backoff_cycles - earlier.backoff_cycles,
+            retry_cycles: self.retry_cycles - earlier.retry_cycles,
+            watchdog_trips: self.watchdog_trips - earlier.watchdog_trips,
+            degraded_txns: self.degraded_txns - earlier.degraded_txns,
+            degraded_extra_cycles: self.degraded_extra_cycles - earlier.degraded_extra_cycles,
+            mc_busy_txns: self.mc_busy_txns - earlier.mc_busy_txns,
+            mc_extra_cycles: self.mc_extra_cycles - earlier.mc_extra_cycles,
+        }
+    }
+
     /// Accumulates another set of counters.
     pub fn merge(&mut self, other: &FaultStats) {
         self.nacks += other.nacks;
@@ -225,6 +243,24 @@ impl FaultInjector {
         }
     }
 
+    /// The *offered* link load the retry-feedback traffic currently
+    /// implies, unclamped (see [`Contention::offered_utilization`]).
+    /// An observability gauge: epoch time-series sample it to make
+    /// retry storms visible as a curve, including how far past
+    /// saturation they push.
+    pub fn retry_utilization(&self) -> f64 {
+        if !self.active {
+            return 0.0;
+        }
+        let msgs_per_txn = self.recent_retries as f64 / FEEDBACK_WINDOW as f64;
+        self.contention.offered_utilization(
+            msgs_per_txn,
+            self.plan.network.mean_hops,
+            self.plan.network.line_cycles,
+            1.0,
+        )
+    }
+
     /// Link utilization currently contributed by retry traffic: the
     /// feedback path that makes dense retry storms inflate each other.
     fn retry_rho(&self) -> f64 {
@@ -310,6 +346,38 @@ mod tests {
         let mut a = inj.rng.clone();
         let mut b = SimRng::seed_from_u64(42);
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn stats_delta_inverts_merge() {
+        let mut inj = FaultInjector::new(nack_only(0.5), 3).unwrap();
+        for now in 0..500 {
+            inj.transaction_latency(now, TransactionKind::RemoteClean, 175);
+        }
+        let mid = *inj.stats();
+        for now in 500..1_000 {
+            inj.transaction_latency(now, TransactionKind::RemoteClean, 175);
+        }
+        let end = *inj.stats();
+        let second_half = end.delta(&mid);
+        let mut recombined = mid;
+        recombined.merge(&second_half);
+        assert_eq!(recombined, end);
+        assert!(second_half.nacks < end.nacks, "both halves saw NACKs at 50%");
+    }
+
+    #[test]
+    fn retry_utilization_rises_under_a_storm_and_is_zero_when_inactive() {
+        let mut idle = FaultInjector::new(FaultPlan::none(), 0).unwrap();
+        idle.transaction_latency(0, TransactionKind::RemoteClean, 175);
+        assert_eq!(idle.retry_utilization(), 0.0);
+
+        let mut stormy = FaultInjector::new(nack_only(0.9), 11).unwrap();
+        assert_eq!(stormy.retry_utilization(), 0.0, "no traffic yet");
+        for now in 0..200 {
+            stormy.transaction_latency(now, TransactionKind::RemoteClean, 175);
+        }
+        assert!(stormy.retry_utilization() > 0.0, "a 90% NACK storm generates retry load");
     }
 
     #[test]

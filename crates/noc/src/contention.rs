@@ -56,6 +56,21 @@ impl Contention {
         self.inflation(rho / capacity) / capacity
     }
 
+    /// The *offered* load of a per-node miss stream: like
+    /// [`Contention::utilization`] but unclamped. The clamped value is
+    /// what the latency model uses; this one is for observability — a
+    /// retry storm can offer a load well past saturation, and the
+    /// clamp would hide how far past it went.
+    pub fn offered_utilization(
+        &self,
+        misses_per_cycle: f64,
+        mean_hops: f64,
+        line_cycles: f64,
+        links_per_node: f64,
+    ) -> f64 {
+        (misses_per_cycle * mean_hops * line_cycles / links_per_node.max(1.0)).max(0.0)
+    }
+
     /// Link utilization implied by a per-node miss stream: `misses_per
     /// _cycle` line-sized messages crossing `mean_hops` links of
     /// `line_cycles` occupancy each, spread over `links_per_node` links.
@@ -116,5 +131,16 @@ mod tests {
         // 10 misses per 1000 cycles, 1.7 hops, 4-cycle lines, 4 links.
         let rho = c.utilization(0.01, 1.7, 4.0, 4.0);
         assert!((rho - 0.017).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offered_utilization_is_not_clamped() {
+        let c = Contention::default();
+        // An overload the clamped model saturates at 0.95.
+        let offered = c.offered_utilization(1.0, 2.0, 4.0, 1.0);
+        assert!((offered - 8.0).abs() < 1e-12);
+        assert_eq!(c.utilization(1.0, 2.0, 4.0, 1.0), c.max_utilization);
+        // Below saturation the two agree.
+        assert_eq!(c.offered_utilization(0.01, 1.7, 4.0, 4.0), c.utilization(0.01, 1.7, 4.0, 4.0));
     }
 }

@@ -1,0 +1,439 @@
+//! A dependency-free JSON document builder and validity checker.
+//!
+//! The workspace builds hermetically (no external crates), so this
+//! module hand-rolls the two halves machine-readable reports need:
+//!
+//! * [`Json`] — an ordered document tree with a deterministic writer:
+//!   object keys keep insertion order and numbers are formatted with
+//!   Rust's shortest-round-trip `Display`, so identical inputs always
+//!   produce byte-identical output (the export-determinism tests rely
+//!   on this).
+//! * [`validate`] / [`validate_jsonl`] — a minimal recursive-descent
+//!   well-formedness checker used by the CI smoke run and the export
+//!   tests. It checks syntax only; it does not build a tree.
+
+/// An ordered JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (counters, latencies).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float; non-finite values serialize as `null` (JSON has no
+    /// NaN/Infinity).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order (deterministic output).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from key/value pairs (convenience constructor).
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Appends a key/value pair to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object.
+    pub fn push(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.into(), value)),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // Rust's Display is shortest-round-trip and prints
+                    // integral floats without a fraction ("2"), which is
+                    // still a valid JSON number.
+                    out.push_str(&f.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Serializes compactly (no whitespace), deterministically; this is
+/// what `Json::to_string()` produces.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Why a document failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the problem.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum nesting depth the checker accepts (guards its own stack).
+const MAX_DEPTH: usize = 128;
+
+/// Checks that `text` is exactly one well-formed JSON value (plus
+/// surrounding whitespace).
+///
+/// # Errors
+///
+/// A [`JsonError`] locating the first problem.
+///
+/// ```
+/// use csim_obs::json::validate;
+/// assert!(validate(r#"{"a":[1,2.5,null],"b":"x\n"}"#).is_ok());
+/// assert!(validate("{\"a\":}").is_err());
+/// ```
+pub fn validate(text: &str) -> Result<(), JsonError> {
+    let b = text.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos, 0)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(err(pos, "trailing characters after the document"));
+    }
+    Ok(())
+}
+
+/// Checks that every non-empty line of `text` is a well-formed JSON
+/// value (the JSONL trace format).
+///
+/// # Errors
+///
+/// The first offending line's error, with the line number prepended.
+pub fn validate_jsonl(text: &str) -> Result<(), JsonError> {
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate(line).map_err(|e| JsonError {
+            at: e.at,
+            message: format!("line {}: {}", i + 1, e.message),
+        })?;
+    }
+    Ok(())
+}
+
+fn err(at: usize, message: impl Into<String>) -> JsonError {
+    JsonError { at, message: message.into() }
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+/// Parses one value starting at `pos`, returning the position after it.
+fn value(b: &[u8], pos: usize, depth: usize) -> Result<usize, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(err(pos, "nesting too deep"));
+    }
+    match b.get(pos) {
+        None => Err(err(pos, "expected a value, found end of input")),
+        Some(b'{') => {
+            let mut pos = skip_ws(b, pos + 1);
+            if b.get(pos) == Some(&b'}') {
+                return Ok(pos + 1);
+            }
+            loop {
+                if b.get(pos) != Some(&b'"') {
+                    return Err(err(pos, "expected an object key string"));
+                }
+                pos = string(b, pos)?;
+                pos = skip_ws(b, pos);
+                if b.get(pos) != Some(&b':') {
+                    return Err(err(pos, "expected ':' after object key"));
+                }
+                pos = value(b, skip_ws(b, pos + 1), depth + 1)?;
+                pos = skip_ws(b, pos);
+                match b.get(pos) {
+                    Some(b',') => pos = skip_ws(b, pos + 1),
+                    Some(b'}') => return Ok(pos + 1),
+                    _ => return Err(err(pos, "expected ',' or '}' in object")),
+                }
+            }
+        }
+        Some(b'[') => {
+            let mut pos = skip_ws(b, pos + 1);
+            if b.get(pos) == Some(&b']') {
+                return Ok(pos + 1);
+            }
+            loop {
+                pos = value(b, pos, depth + 1)?;
+                pos = skip_ws(b, pos);
+                match b.get(pos) {
+                    Some(b',') => pos = skip_ws(b, pos + 1),
+                    Some(b']') => return Ok(pos + 1),
+                    _ => return Err(err(pos, "expected ',' or ']' in array")),
+                }
+            }
+        }
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(err(pos, format!("unexpected byte 0x{c:02x}"))),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &str) -> Result<usize, JsonError> {
+    if b[pos..].starts_with(lit.as_bytes()) {
+        Ok(pos + lit.len())
+    } else {
+        Err(err(pos, format!("expected '{lit}'")))
+    }
+}
+
+fn string(b: &[u8], pos: usize) -> Result<usize, JsonError> {
+    debug_assert_eq!(b[pos], b'"');
+    let mut pos = pos + 1;
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok(pos + 1),
+            b'\\' => match b.get(pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                Some(b'u') => {
+                    let hex = b.get(pos + 2..pos + 6).ok_or_else(|| {
+                        err(pos, "truncated \\u escape")
+                    })?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(err(pos, "bad \\u escape"));
+                    }
+                    pos += 6;
+                }
+                _ => return Err(err(pos, "bad escape sequence")),
+            },
+            c if c < 0x20 => return Err(err(pos, "raw control character in string")),
+            _ => pos += 1,
+        }
+    }
+    Err(err(pos, "unterminated string"))
+}
+
+fn number(b: &[u8], pos: usize) -> Result<usize, JsonError> {
+    let start = pos;
+    let mut pos = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let int_start = pos;
+    while pos < b.len() && b[pos].is_ascii_digit() {
+        pos += 1;
+    }
+    if pos == int_start {
+        return Err(err(start, "malformed number"));
+    }
+    // No leading zeros (except "0" itself).
+    if b[int_start] == b'0' && pos - int_start > 1 {
+        return Err(err(start, "leading zero in number"));
+    }
+    if b.get(pos) == Some(&b'.') {
+        pos += 1;
+        let frac_start = pos;
+        while pos < b.len() && b[pos].is_ascii_digit() {
+            pos += 1;
+        }
+        if pos == frac_start {
+            return Err(err(start, "missing digits after decimal point"));
+        }
+    }
+    if matches!(b.get(pos), Some(b'e' | b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+' | b'-')) {
+            pos += 1;
+        }
+        let exp_start = pos;
+        while pos < b.len() && b[pos].is_ascii_digit() {
+            pos += 1;
+        }
+        if pos == exp_start {
+            return Err(err(start, "missing exponent digits"));
+        }
+    }
+    Ok(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_output_validates() {
+        let doc = Json::obj([
+            ("name", Json::str("csim")),
+            ("count", Json::UInt(42)),
+            ("neg", Json::Int(-7)),
+            ("pi", Json::Float(3.25)),
+            ("nan", Json::Float(f64::NAN)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            ("arr", Json::Arr(vec![Json::UInt(1), Json::str("x\"y\n")])),
+            ("nested", Json::obj([("k", Json::Arr(vec![]))])),
+        ]);
+        let s = doc.to_string();
+        validate(&s).unwrap();
+        assert!(s.contains("\"nan\":null"));
+        assert!(s.contains("\"pi\":3.25"));
+        assert!(s.contains("\"x\\\"y\\n\""));
+    }
+
+    #[test]
+    fn writer_is_deterministic_and_order_preserving() {
+        let mk = || {
+            Json::obj([("b", Json::UInt(1)), ("a", Json::UInt(2))])
+        };
+        assert_eq!(mk().to_string(), "{\"b\":1,\"a\":2}");
+        assert_eq!(mk().to_string(), mk().to_string());
+    }
+
+    #[test]
+    fn integral_floats_are_valid_json() {
+        let s = Json::Float(2.0).to_string();
+        assert_eq!(s, "2");
+        validate(&s).unwrap();
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let s = Json::str("a\u{1}b").to_string();
+        assert_eq!(s, "\"a\\u0001b\"");
+        validate(&s).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_standard_documents() {
+        for doc in [
+            "null",
+            "true",
+            "-12.5e+3",
+            "0",
+            "[]",
+            "{}",
+            "  [1, 2, {\"a\": [null]}]  ",
+            "\"\\u00e9\\t\"",
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "\"\\u12g4\"",
+            "nulL",
+            "[1] extra",
+            "\"raw\u{1}\"",
+        ] {
+            assert!(validate(doc).is_err(), "accepted: {doc:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded_not_a_stack_overflow() {
+        let deep = format!("{}1{}", "[".repeat(500), "]".repeat(500));
+        let e = validate(&deep).unwrap_err();
+        assert!(e.message.contains("deep"));
+    }
+
+    #[test]
+    fn jsonl_checks_each_line() {
+        validate_jsonl("{\"a\":1}\n{\"b\":2}\n\n").unwrap();
+        let e = validate_jsonl("{\"a\":1}\n{oops}\n").unwrap_err();
+        assert!(e.message.contains("line 2"));
+    }
+
+    #[test]
+    fn push_extends_objects() {
+        let mut o = Json::obj([("a", Json::UInt(1))]);
+        o.push("b", Json::UInt(2));
+        assert_eq!(o.to_string(), "{\"a\":1,\"b\":2}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Cycle-level observability for the chip-level-integration simulator.
+//!
+//! The paper's conclusions all hinge on *where cycles go* — L2-hit
+//! latency dominating uniprocessor OLTP, remote-dirty 3-hop latency
+//! dominating the multiprocessor case — yet an end-of-run `SimReport`
+//! only exposes aggregate sums. This crate supplies the instruments
+//! that make latency *distributions* and time-resolved behavior
+//! visible:
+//!
+//! * [`LatencyHistogram`] — log-bucketed (HDR-style, dependency-free)
+//!   latency recording per [`MissClass`], with p50/p90/p99/p999/max
+//!   quantile extraction and associative cross-node merging.
+//! * [`EpochSeries`] — per-interval samples of IPC, MPKI, miss-class
+//!   mix, directory NACK rate and fault-injector activity, so warmup,
+//!   steady state and fault-storm windows show up as curves.
+//! * [`EventRing`] — a bounded ring of typed simulation events
+//!   ([`Event`]/[`EventKind`]) with per-node/per-class record-time
+//!   filtering and a compact JSONL exporter.
+//! * [`json`] — a hand-rolled, dependency-free JSON document builder
+//!   (deterministic output) and well-formedness checker, backing the
+//!   machine-readable run reports.
+//! * [`RunManifest`] / [`PhaseProfile`] — a reproducibility manifest
+//!   (config echo, seeds, version string) and a wall-clock self-profile
+//!   of the run's phases.
+//!
+//! Everything hangs off an [`Observer`] configured by an [`ObsConfig`]
+//! that defaults to off. The observer is strictly read-only with
+//! respect to the simulation: a disabled observer produces a report
+//! bit-identical to a run with no observer wired in (the simulator's
+//! test suite asserts this).
+//!
+//! # Example
+//!
+//! ```
+//! use csim_obs::{MissClass, ObsConfig, Observer, TraceConfig};
+//!
+//! let mut obs = Observer::new(ObsConfig {
+//!     histograms: true,
+//!     epoch: Some(1000),
+//!     trace: Some(TraceConfig::default()),
+//! });
+//! obs.record_latency(MissClass::RemoteDirty, 250);
+//! let h = obs.histogram(MissClass::RemoteDirty).unwrap();
+//! assert_eq!(h.count(), 1);
+//! assert!(h.quantile(0.999) >= 250);
+//! ```
+
+mod class;
+mod event;
+mod hist;
+pub mod json;
+mod manifest;
+mod observer;
+mod series;
+
+pub use class::MissClass;
+pub use event::{Event, EventKind, EventRing, TraceFilter};
+pub use hist::{LatencyHistogram, DEFAULT_PRECISION, REPORT_QUANTILES};
+pub use manifest::{version_string, PhaseProfile, RunManifest};
+pub use observer::{ObsConfig, Observation, Observer, TraceConfig};
+pub use series::{EpochSample, EpochSeries, EpochSnapshot};

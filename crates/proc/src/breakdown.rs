@@ -82,6 +82,22 @@ impl ExecBreakdown {
         }
     }
 
+    /// The component-wise change from `earlier` to `self`. Epoch
+    /// sampling diffs cumulative snapshots with this to get
+    /// per-interval breakdowns; `earlier` must be an earlier snapshot
+    /// of the same accumulator (every component monotonically
+    /// non-decreasing).
+    pub fn delta(&self, earlier: &ExecBreakdown) -> ExecBreakdown {
+        ExecBreakdown {
+            instructions: self.instructions - earlier.instructions,
+            busy_cycles: self.busy_cycles - earlier.busy_cycles,
+            l2_hit_cycles: self.l2_hit_cycles - earlier.l2_hit_cycles,
+            local_cycles: self.local_cycles - earlier.local_cycles,
+            remote_clean_cycles: self.remote_clean_cycles - earlier.remote_clean_cycles,
+            remote_dirty_cycles: self.remote_dirty_cycles - earlier.remote_dirty_cycles,
+        }
+    }
+
     /// Accumulates another breakdown into this one (aggregation across
     /// nodes).
     pub fn merge(&mut self, other: &ExecBreakdown) {
@@ -129,6 +145,28 @@ mod tests {
         assert_eq!(bd.cpi(), 0.0);
         assert_eq!(bd.cpu_utilization(), 0.0);
         assert_eq!(bd.total_cycles(), 0.0);
+    }
+
+    #[test]
+    fn delta_inverts_merge() {
+        let earlier = ExecBreakdown {
+            instructions: 10,
+            busy_cycles: 10.0,
+            local_cycles: 5.0,
+            ..Default::default()
+        };
+        let mut later = earlier;
+        later.merge(&ExecBreakdown {
+            instructions: 20,
+            busy_cycles: 20.0,
+            remote_dirty_cycles: 7.0,
+            ..Default::default()
+        });
+        let d = later.delta(&earlier);
+        assert_eq!(d.instructions, 20);
+        assert_eq!(d.busy_cycles, 20.0);
+        assert_eq!(d.local_cycles, 0.0);
+        assert_eq!(d.remote_dirty_cycles, 7.0);
     }
 
     #[test]

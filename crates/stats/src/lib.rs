@@ -26,8 +26,10 @@
 //! ```
 
 mod chart;
+mod line;
 pub mod svg;
 mod table;
 
 pub use chart::{Bar, BarChart};
+pub use line::{LineChart, Series};
 pub use table::TextTable;

@@ -1,0 +1,204 @@
+//! Line charts for time-series (epoch) data.
+//!
+//! The bar charts reproduce the paper's figures; line charts serve the
+//! observability layer: one [`LineChart`] plots a handful of named
+//! [`Series`] (IPC per epoch, NACK rate per epoch, ...) over a shared
+//! x-axis, rendered by [`crate::svg::render_lines`].
+
+/// One named polyline: ordered `(x, y)` points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Appends a point (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is not finite.
+    pub fn with(mut self, x: f64, y: f64) -> Self {
+        self.push(x, y);
+        self
+    }
+
+    /// Appends a point in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is not finite.
+    pub fn push(&mut self, x: f64, y: f64) {
+        assert!(x.is_finite() && y.is_finite(), "line-chart points must be finite");
+        self.points.push((x, y));
+    }
+
+    /// The series name (legend label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The points, in insertion order.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// A chart of one or more line series over a shared pair of axes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(title: impl Into<String>) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the axis labels (builder style).
+    pub fn with_axes(mut self, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        self.x_label = x_label.into();
+        self.y_label = y_label.into();
+        self
+    }
+
+    /// Appends a series (builder style).
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Appends a series in place.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// The chart title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The x-axis label.
+    pub fn x_label(&self) -> &str {
+        &self.x_label
+    }
+
+    /// The y-axis label.
+    pub fn y_label(&self) -> &str {
+        &self.y_label
+    }
+
+    /// The series, in insertion order.
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// The `[min, max]` ranges over every point of every series, or
+    /// `None` when the chart holds no points. Degenerate ranges (a
+    /// single x or a constant y) are widened so callers can always
+    /// divide by the span.
+    pub fn ranges(&self) -> Option<((f64, f64), (f64, f64))> {
+        let mut pts = self.series.iter().flat_map(|s| s.points.iter().copied());
+        let first = pts.next()?;
+        let mut r = ((first.0, first.0), (first.1, first.1));
+        for (x, y) in pts {
+            r.0 .0 = r.0 .0.min(x);
+            r.0 .1 = r.0 .1.max(x);
+            r.1 .0 = r.1 .0.min(y);
+            r.1 .1 = r.1 .1.max(y);
+        }
+        if r.0 .1 - r.0 .0 == 0.0 {
+            r.0 .1 += 1.0;
+        }
+        if r.1 .1 - r.1 .0 == 0.0 {
+            r.1 .1 += 1.0;
+        }
+        // A y-axis that starts at zero reads better for rates/counts;
+        // keep the data's floor only when it is negative.
+        if r.1 .0 > 0.0 {
+            r.1 .0 = 0.0;
+        }
+        Some(r)
+    }
+
+    /// Emits the chart as CSV: `series,x,y` rows with a header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,x,y\n");
+        for s in &self.series {
+            for (x, y) in &s.points {
+                out.push_str(&format!("{},{},{}\n", s.name, x, y));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart::new("ipc")
+            .with_axes("epoch", "IPC")
+            .with_series(Series::new("node0").with(0.0, 0.5).with(1.0, 0.7))
+            .with_series(Series::new("node1").with(0.0, 0.4).with(1.0, 0.9))
+    }
+
+    #[test]
+    fn ranges_cover_all_series_and_pin_y_to_zero() {
+        let ((x0, x1), (y0, y1)) = chart().ranges().unwrap();
+        assert_eq!((x0, x1), (0.0, 1.0));
+        assert_eq!(y0, 0.0, "positive data still plots from zero");
+        assert_eq!(y1, 0.9);
+    }
+
+    #[test]
+    fn empty_chart_has_no_ranges() {
+        assert!(LineChart::new("e").ranges().is_none());
+        assert!(LineChart::new("e").with_series(Series::new("s")).ranges().is_none());
+    }
+
+    #[test]
+    fn degenerate_ranges_are_widened() {
+        let c = LineChart::new("one").with_series(Series::new("s").with(5.0, 2.0));
+        let ((x0, x1), (y0, y1)) = c.ranges().unwrap();
+        assert!(x1 > x0);
+        assert!(y1 > y0);
+    }
+
+    #[test]
+    fn negative_floors_are_kept() {
+        let c = LineChart::new("neg").with_series(Series::new("s").with(0.0, -2.0).with(1.0, 3.0));
+        let ((_, _), (y0, _)) = c.ranges().unwrap();
+        assert_eq!(y0, -2.0);
+    }
+
+    #[test]
+    fn csv_lists_every_point() {
+        let csv = chart().to_csv();
+        assert!(csv.starts_with("series,x,y\n"));
+        assert!(csv.contains("node0,0,0.5\n"));
+        assert!(csv.contains("node1,1,0.9\n"));
+        assert_eq!(csv.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_points_rejected() {
+        let _ = Series::new("bad").with(0.0, f64::NAN);
+    }
+}

@@ -1,10 +1,12 @@
-//! SVG rendering of stacked bar charts.
+//! SVG rendering of stacked bar charts and line charts.
 //!
 //! The ASCII charts are for terminals; this renderer writes the same
-//! [`BarChart`] as a self-contained SVG file for papers and READMEs. No
-//! external dependencies: the SVG is assembled by hand.
+//! [`BarChart`] (and the observability layer's [`LineChart`]) as
+//! self-contained SVG files for papers and READMEs. No external
+//! dependencies: the SVG is assembled by hand.
 
 use crate::chart::BarChart;
+use crate::line::LineChart;
 
 /// Palette for stacked components (colorblind-safe Okabe-Ito subset).
 const COLORS: [&str; 8] =
@@ -110,6 +112,149 @@ pub fn write_file(chart: &BarChart, path: impl AsRef<std::path::Path>) -> std::i
     std::fs::write(path, render(chart))
 }
 
+const LINE_PLOT_W: f64 = 520.0;
+const LINE_PLOT_H: f64 = 220.0;
+const LINE_LEFT: f64 = 64.0;
+const LINE_TOP: f64 = 36.0;
+const LINE_BOTTOM: f64 = 46.0;
+const TICKS: usize = 5;
+
+/// A tick label: enough digits to tell ticks apart, no trailing noise.
+fn tick_label(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{v:.0}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders a line chart as a standalone SVG document: one polyline per
+/// series in the shared Okabe-Ito palette, x/y axes with ticks and grid
+/// lines, and a legend.
+///
+/// # Example
+///
+/// ```
+/// use csim_stats::{svg, LineChart, Series};
+/// let chart = LineChart::new("IPC per epoch")
+///     .with_axes("epoch", "IPC")
+///     .with_series(Series::new("ipc").with(0.0, 0.4).with(1.0, 0.6));
+/// let doc = svg::render_lines(&chart);
+/// assert!(doc.starts_with("<svg"));
+/// assert!(doc.contains("polyline"));
+/// ```
+pub fn render_lines(chart: &LineChart) -> String {
+    let width = LINE_LEFT + LINE_PLOT_W + 24.0;
+    let height = LINE_TOP + LINE_PLOT_H + LINE_BOTTOM + 18.0 * chart.series().len() as f64;
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\" font-family=\"sans-serif\" font-size=\"11\">\n"
+    );
+    out.push_str(&format!(
+        "  <text x=\"10\" y=\"20\" font-size=\"14\" font-weight=\"bold\">{}</text>\n",
+        escape(chart.title())
+    ));
+    let Some(((x0, x1), (y0, y1))) = chart.ranges() else {
+        out.push_str("  <text x=\"10\" y=\"40\">(no data)</text>\n</svg>\n");
+        return out;
+    };
+    let sx = |x: f64| LINE_LEFT + (x - x0) / (x1 - x0) * LINE_PLOT_W;
+    let sy = |y: f64| LINE_TOP + LINE_PLOT_H - (y - y0) / (y1 - y0) * LINE_PLOT_H;
+
+    // Axes, ticks and horizontal grid lines.
+    out.push_str(&format!(
+        "  <rect x=\"{LINE_LEFT}\" y=\"{LINE_TOP}\" width=\"{LINE_PLOT_W}\" \
+         height=\"{LINE_PLOT_H}\" fill=\"none\" stroke=\"#333333\"/>\n"
+    ));
+    for t in 0..=TICKS {
+        let frac = t as f64 / TICKS as f64;
+        let (xv, yv) = (x0 + frac * (x1 - x0), y0 + frac * (y1 - y0));
+        let (px, py) = (sx(xv), sy(yv));
+        if t > 0 && t < TICKS {
+            out.push_str(&format!(
+                "  <line x1=\"{LINE_LEFT}\" y1=\"{py:.1}\" x2=\"{:.1}\" y2=\"{py:.1}\" \
+                 stroke=\"#dddddd\"/>\n",
+                LINE_LEFT + LINE_PLOT_W
+            ));
+        }
+        out.push_str(&format!(
+            "  <text x=\"{px:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+            LINE_TOP + LINE_PLOT_H + 16.0,
+            tick_label(xv)
+        ));
+        out.push_str(&format!(
+            "  <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\n",
+            LINE_LEFT - 6.0,
+            py + 4.0,
+            tick_label(yv)
+        ));
+    }
+    if !chart.x_label().is_empty() {
+        out.push_str(&format!(
+            "  <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>\n",
+            LINE_LEFT + LINE_PLOT_W / 2.0,
+            LINE_TOP + LINE_PLOT_H + 34.0,
+            escape(chart.x_label())
+        ));
+    }
+    if !chart.y_label().is_empty() {
+        out.push_str(&format!(
+            "  <text x=\"14\" y=\"{:.1}\" text-anchor=\"middle\" \
+             transform=\"rotate(-90 14 {:.1})\">{}</text>\n",
+            LINE_TOP + LINE_PLOT_H / 2.0,
+            LINE_TOP + LINE_PLOT_H / 2.0,
+            escape(chart.y_label())
+        ));
+    }
+
+    // One polyline per series, plus a legend row each.
+    for (idx, series) in chart.series().iter().enumerate() {
+        let color = COLORS[idx % COLORS.len()];
+        if !series.points().is_empty() {
+            let pts: Vec<String> = series
+                .points()
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
+            out.push_str(&format!(
+                "  <polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" \
+                 stroke-width=\"1.6\"/>\n",
+                pts.join(" ")
+            ));
+        }
+        let ly = LINE_TOP + LINE_PLOT_H + LINE_BOTTOM + 18.0 * idx as f64;
+        out.push_str(&format!(
+            "  <line x1=\"{LINE_LEFT}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" \
+             stroke=\"{color}\" stroke-width=\"3\"/>\n",
+            ly - 4.0,
+            LINE_LEFT + 18.0,
+            ly - 4.0
+        ));
+        out.push_str(&format!(
+            "  <text x=\"{:.1}\" y=\"{ly:.1}\">{}</text>\n",
+            LINE_LEFT + 24.0,
+            escape(series.name())
+        ));
+    }
+
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders a line chart to a file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_lines_file(
+    chart: &LineChart,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    std::fs::write(path, render_lines(chart))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +295,52 @@ mod tests {
     fn empty_chart_renders_without_panic() {
         let doc = render(&BarChart::new("empty"));
         assert!(doc.contains("empty"));
+    }
+
+    fn line_chart() -> LineChart {
+        use crate::line::Series;
+        LineChart::new("ipc <t>")
+            .with_axes("epoch", "IPC")
+            .with_series(Series::new("a&b").with(0.0, 0.2).with(1.0, 0.8).with(2.0, 0.5))
+            .with_series(Series::new("flat").with(0.0, 0.4).with(2.0, 0.4))
+    }
+
+    #[test]
+    fn line_svg_draws_one_polyline_per_series() {
+        let doc = render_lines(&line_chart());
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.trim_end().ends_with("</svg>"));
+        assert_eq!(doc.matches("<polyline").count(), 2);
+        assert!(doc.contains("ipc &lt;t&gt;"));
+        assert!(doc.contains("a&amp;b"));
+        assert!(doc.contains(">epoch</text>"));
+        assert!(doc.contains(">IPC</text>"));
+    }
+
+    #[test]
+    fn line_svg_scales_points_into_the_plot_box() {
+        let doc = render_lines(&line_chart());
+        // y max 0.8 maps to the plot top, y floor 0 to the bottom.
+        assert!(doc.contains("324.0,36.0"), "peak point must touch the top: {doc}");
+        // x max 2.0 maps to the right edge (64 + 520).
+        assert!(doc.contains("584.0,"), "last point must touch the right edge");
+    }
+
+    #[test]
+    fn empty_line_chart_renders_placeholder() {
+        let doc = render_lines(&LineChart::new("empty"));
+        assert!(doc.contains("(no data)"));
+        assert!(doc.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn line_write_file_round_trips() {
+        let dir = std::env::temp_dir().join("csim_svg_line_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lines.svg");
+        write_lines_file(&line_chart(), &path).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("polyline"));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!   --nodes N            processor chips (default 1)
 //!   --cores N            cores per chip sharing its L2 (default 1)
 //!   --integration LEVEL  cons | base | l2 | l2mc | all  (default base)
-//!   --l2 SPEC            e.g. 8M1w, 2M8w, 1.25M4w      (default 8M1w)
+//!   --l2 SPEC            e.g. 8M1w, 2M8w, 1.25M4w (default: 8M1w
+//!                        off-chip, 2M8w for on-chip integration levels)
 //!   --dram               use embedded-DRAM for the on-chip L2
 //!   --rac                add the paper's 8M8w remote access cache
 //!   --replicate          OS instruction-page replication
@@ -20,9 +21,30 @@
 //!   --fault-seed N       fault-injection seed (default 0, independent
 //!                        of the workload seed)
 //!   --strict N           re-verify coherence every N refs/node
+//!
+//! observability (all off by default; see crates/obs):
+//!   --histograms         per-class latency histograms: quantile table on
+//!                        stdout and full buckets in the JSON report
+//!   --epoch N            close a time-series sample every N refs/node
+//!   --trace-out FILE     write a JSONL event trace to FILE
+//!   --trace-filter SPEC  keep only classes SPEC = CLASS[,CLASS] in the
+//!                        trace (l2-hit local remote-clean remote-dirty
+//!                        upgrade nack-retry)
+//!   --trace-cap N        event-ring capacity (default 65536)
+//!   --json-report FILE   write the machine-readable run report to FILE
+//!   --profile            include the wall-clock phase profile in the
+//!                        JSON report (makes it nondeterministic)
+//!   --epoch-svg FILE     plot the epoch series (IPC, MPKI, NACK rate)
+//!                        as an SVG line chart
+//!   --quiet              suppress the human-readable stdout tables
+//!                        (implied diagnostics stay on stderr)
+//!   --validate-json FILE   check FILE is well-formed JSON and exit
+//!   --validate-jsonl FILE  check FILE is well-formed JSONL and exit
 //! ```
 
+use oltp_chip_integration::obs::{json, REPORT_QUANTILES};
 use oltp_chip_integration::prelude::*;
+use oltp_chip_integration::stats::svg;
 
 #[derive(Debug)]
 struct Args {
@@ -31,6 +53,7 @@ struct Args {
     integration: IntegrationLevel,
     l2_bytes: u64,
     l2_assoc: u32,
+    l2_explicit: bool,
     dram: bool,
     rac: bool,
     replicate: bool,
@@ -41,6 +64,15 @@ struct Args {
     fault_plan: Option<String>,
     fault_seed: u64,
     strict: Option<u64>,
+    histograms: bool,
+    epoch: Option<u64>,
+    trace_out: Option<String>,
+    trace_filter: Option<TraceFilter>,
+    trace_cap: Option<usize>,
+    json_report: Option<String>,
+    epoch_svg: Option<String>,
+    quiet: bool,
+    profile: bool,
 }
 
 impl Default for Args {
@@ -51,6 +83,7 @@ impl Default for Args {
             integration: IntegrationLevel::Base,
             l2_bytes: 8 << 20,
             l2_assoc: 1,
+            l2_explicit: false,
             dram: false,
             rac: false,
             replicate: false,
@@ -61,6 +94,15 @@ impl Default for Args {
             fault_plan: None,
             fault_seed: 0,
             strict: None,
+            histograms: false,
+            epoch: None,
+            trace_out: None,
+            trace_filter: None,
+            trace_cap: None,
+            json_report: None,
+            epoch_svg: None,
+            quiet: false,
+            profile: false,
         }
     }
 }
@@ -73,8 +115,22 @@ fn parse_l2(spec: &str) -> Result<(u64, u32), String> {
         .rfind(['w', 'W'])
         .filter(|&w| w > m)
         .ok_or_else(|| format!("bad L2 spec '{spec}': missing w"))?;
+    if w + 1 != spec.len() {
+        return Err(format!("bad L2 spec '{spec}': trailing characters after 'w'"));
+    }
     let mb: f64 = spec[..m].parse().map_err(|_| format!("bad L2 size in '{spec}'"))?;
     let assoc: u32 = spec[m + 1..w].parse().map_err(|_| format!("bad associativity in '{spec}'"))?;
+    if !mb.is_finite() || mb <= 0.0 {
+        return Err(format!("bad L2 spec '{spec}': size must be positive"));
+    }
+    if assoc == 0 {
+        return Err(format!("bad L2 spec '{spec}': associativity must be at least 1"));
+    }
+    if !assoc.is_power_of_two() {
+        return Err(format!(
+            "bad L2 spec '{spec}': associativity {assoc} is not a power of two"
+        ));
+    }
     let bytes = (mb * (1u64 << 20) as f64).round() as u64;
     Ok((bytes, assoc))
 }
@@ -103,6 +159,7 @@ fn parse_args() -> Result<Args, String> {
                 let (bytes, assoc) = parse_l2(&value("--l2")?)?;
                 args.l2_bytes = bytes;
                 args.l2_assoc = assoc;
+                args.l2_explicit = true;
             }
             "--dram" => args.dram = true,
             "--rac" => args.rac = true,
@@ -118,12 +175,61 @@ fn parse_args() -> Result<Args, String> {
             "--strict" => {
                 args.strict = Some(value("--strict")?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--histograms" => args.histograms = true,
+            "--epoch" => {
+                let n: u64 = value("--epoch")?.parse().map_err(|e| format!("{e}"))?;
+                if n == 0 {
+                    return Err("--epoch must be at least 1".into());
+                }
+                args.epoch = Some(n);
+            }
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--trace-filter" => {
+                args.trace_filter = Some(TraceFilter::parse_classes(&value("--trace-filter")?)?)
+            }
+            "--trace-cap" => {
+                args.trace_cap =
+                    Some(value("--trace-cap")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--json-report" => args.json_report = Some(value("--json-report")?),
+            "--epoch-svg" => args.epoch_svg = Some(value("--epoch-svg")?),
+            "--quiet" => args.quiet = true,
+            "--profile" => args.profile = true,
+            "--validate-json" | "--validate-jsonl" => {
+                let path = value(&flag)?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read '{path}': {e}"))?;
+                let checked = if flag == "--validate-json" {
+                    json::validate(&text)
+                } else {
+                    json::validate_jsonl(&text)
+                };
+                match checked {
+                    Ok(()) => {
+                        println!("{path}: ok");
+                        std::process::exit(0);
+                    }
+                    Err(e) => return Err(format!("{path}: {e}")),
+                }
+            }
             "--help" | "-h" => {
                 println!("see the module docs at the top of src/bin/csim.rs for usage");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if args.trace_out.is_none() && (args.trace_filter.is_some() || args.trace_cap.is_some()) {
+        return Err("--trace-filter/--trace-cap require --trace-out".into());
+    }
+    if args.epoch_svg.is_some() && args.epoch.is_none() {
+        return Err("--epoch-svg requires --epoch".into());
+    }
+    if !args.l2_explicit && args.integration.l2_on_chip() {
+        // The off-chip default (8M1w) does not fit on a die; fall back
+        // to the paper's on-chip geometry unless the user chose one.
+        args.l2_bytes = 2 << 20;
+        args.l2_assoc = 8;
     }
     Ok(args)
 }
@@ -162,6 +268,76 @@ fn main() {
     }
 }
 
+/// The observability configuration the flags ask for.
+fn obs_config(args: &Args) -> ObsConfig {
+    ObsConfig {
+        histograms: args.histograms,
+        epoch: args.epoch,
+        trace: args.trace_out.as_ref().map(|_| {
+            let mut t = TraceConfig::default();
+            if let Some(cap) = args.trace_cap {
+                t.capacity = cap;
+            }
+            if let Some(f) = &args.trace_filter {
+                t.filter = f.clone();
+            }
+            t
+        }),
+    }
+}
+
+/// The reproduction manifest for the JSON report: configuration echo
+/// plus every seed the run consumed.
+fn run_manifest(args: &Args, cfg: &SystemConfig, workload_seed: u64) -> RunManifest {
+    let kv = |v: String| v;
+    let mut config = vec![
+        ("nodes".to_string(), kv(args.nodes.to_string())),
+        ("cores_per_node".to_string(), kv(args.cores.to_string())),
+        ("integration".to_string(), kv(format!("{:?}", args.integration))),
+        ("l2_bytes".to_string(), kv(args.l2_bytes.to_string())),
+        ("l2_assoc".to_string(), kv(args.l2_assoc.to_string())),
+        ("l2_dram".to_string(), kv(args.dram.to_string())),
+        ("rac".to_string(), kv(args.rac.to_string())),
+        ("replicate_instructions".to_string(), kv(args.replicate.to_string())),
+        ("out_of_order".to_string(), kv(args.ooo.to_string())),
+        ("warm_refs_per_node".to_string(), kv(args.warm.to_string())),
+        ("meas_refs_per_node".to_string(), kv(args.meas.to_string())),
+    ];
+    if let Some(plan) = &args.fault_plan {
+        config.push(("fault_plan".to_string(), plan.clone()));
+    }
+    let mut seeds = vec![("workload".to_string(), workload_seed)];
+    if args.fault_plan.is_some() {
+        seeds.push(("fault".to_string(), args.fault_seed));
+    }
+    RunManifest {
+        tool: "csim".into(),
+        version: version_string(env!("CARGO_PKG_VERSION")),
+        config_summary: cfg.summary(),
+        config,
+        seeds,
+    }
+}
+
+/// The epoch time-series as a line chart (IPC, MPKI, NACKs per 1000
+/// refs per epoch).
+fn epoch_chart(samples: &[oltp_chip_integration::obs::EpochSample], epoch_len: u64) -> LineChart {
+    let mut ipc = Series::new("IPC");
+    let mut mpki = Series::new("MPKI");
+    let mut nacks = Series::new("NACKs/kref");
+    for s in samples {
+        let x = s.index as f64;
+        ipc.push(x, s.ipc);
+        mpki.push(x, s.mpki);
+        nacks.push(x, s.nack_rate_per_kref(epoch_len));
+    }
+    LineChart::new(format!("epoch series ({epoch_len} refs/node per epoch)"))
+        .with_axes("epoch", "value")
+        .with_series(ipc)
+        .with_series(mpki)
+        .with_series(nacks)
+}
+
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> {
         format!("{e} (try --help)").into()
@@ -171,6 +347,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(seed) = args.seed {
         params.seed = seed;
     }
+    let workload_seed = params.seed;
 
     eprintln!("config: {}", cfg.summary());
     let lat = cfg.latencies();
@@ -180,7 +357,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     );
     eprintln!("warming {} refs/node, measuring {} refs/node ...", args.warm, args.meas);
 
-    let mut sim = Simulation::with_oltp(&cfg, params)?;
+    let mut profile = PhaseProfile::new();
+    let mut sim = profile.time("build", || Simulation::with_oltp(&cfg, params))?;
+    let obs_cfg = obs_config(&args);
+    if !obs_cfg.is_off() {
+        sim.set_observer(Observer::new(obs_cfg));
+    }
     if let Some(path) = &args.fault_plan {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read fault plan '{path}': {e}"))?;
@@ -194,11 +376,41 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         );
         sim.set_fault_injector(FaultInjector::new(plan, args.fault_seed)?);
     }
-    sim.warm_up(args.warm);
+    profile.time("warmup", || sim.warm_up(args.warm));
     let rep = match args.strict {
-        Some(every) => sim.run_verified(args.meas, every)?,
-        None => sim.run(args.meas),
+        Some(every) => profile.time("measure", || sim.run_verified(args.meas, every))?,
+        None => profile.time("measure", || sim.run(args.meas)),
     };
+
+    if let Some(path) = &args.trace_out {
+        let jsonl = sim.observer().trace_jsonl();
+        std::fs::write(path, &jsonl)
+            .map_err(|e| format!("cannot write trace '{path}': {e}"))?;
+        let ring = sim.observer().events().expect("--trace-out enables tracing");
+        eprintln!("trace: {path} ({} events, {} dropped)", ring.len(), ring.dropped());
+    }
+    if let Some(path) = &args.epoch_svg {
+        let epoch_len = sim.observer().epoch_len().expect("--epoch-svg requires --epoch");
+        let chart = epoch_chart(sim.observer().epoch_samples(), epoch_len);
+        svg::write_lines_file(&chart, path)
+            .map_err(|e| format!("cannot write epoch chart '{path}': {e}"))?;
+        eprintln!("epoch chart: {path} ({} epochs)", sim.observer().epoch_samples().len());
+    }
+    if let Some(path) = &args.json_report {
+        let manifest = run_manifest(&args, &cfg, workload_seed);
+        let doc = run_report_json(
+            &rep,
+            sim.observer(),
+            &manifest,
+            args.profile.then_some(&profile),
+        );
+        std::fs::write(path, format!("{doc}\n"))
+            .map_err(|e| format!("cannot write report '{path}': {e}"))?;
+        eprintln!("report: {path}");
+    }
+    if args.quiet {
+        return Ok(());
+    }
 
     let chart = BarChart::new("execution time breakdown")
         .with_bar(rep.exec_bar("cycles"))
@@ -247,5 +459,63 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         t.row(vec!["fault extra cycles".into(), f.total_extra_cycles().to_string()]);
     }
     println!("{}", t.render());
+
+    if args.histograms {
+        let mut t = TextTable::new(vec![
+            "class", "count", "min", "mean", "p50", "p90", "p99", "p999", "max",
+        ]);
+        for class in MissClass::ALL {
+            let h = sim.observer().histogram(class).expect("--histograms enables histograms");
+            if h.count() == 0 {
+                continue;
+            }
+            let mut row = vec![
+                class.to_string(),
+                h.count().to_string(),
+                h.min().to_string(),
+                format!("{:.1}", h.mean()),
+            ];
+            row.extend(REPORT_QUANTILES.iter().map(|&(_, q)| h.quantile(q).to_string()));
+            row.push(h.max().to_string());
+            t.row(row);
+        }
+        println!("serviced latency by miss class (cycles)");
+        println!("{}", t.render());
+    }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_l2;
+
+    #[test]
+    fn parse_l2_accepts_the_paper_geometries() {
+        assert_eq!(parse_l2("8M1w").unwrap(), (8 << 20, 1));
+        assert_eq!(parse_l2("2M8w").unwrap(), (2 << 20, 8));
+        assert_eq!(parse_l2("1.25M4w").unwrap(), ((5 << 20) / 4, 4));
+        assert_eq!(parse_l2(" 16m2W ").unwrap(), (16 << 20, 2));
+    }
+
+    #[test]
+    fn parse_l2_rejects_degenerate_sizes() {
+        assert!(parse_l2("0M4w").unwrap_err().contains("positive"));
+        assert!(parse_l2("-2M4w").unwrap_err().contains("positive"));
+        assert!(parse_l2("infM4w").unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn parse_l2_rejects_degenerate_associativity() {
+        assert!(parse_l2("2M0w").unwrap_err().contains("at least 1"));
+        assert!(parse_l2("2M3w").unwrap_err().contains("power of two"));
+        assert!(parse_l2("2M6w").unwrap_err().contains("power of two"));
+    }
+
+    #[test]
+    fn parse_l2_rejects_malformed_specs() {
+        assert!(parse_l2("2M8").unwrap_err().contains("missing w"));
+        assert!(parse_l2("8w").unwrap_err().contains("missing M"));
+        assert!(parse_l2("2M8wx").unwrap_err().contains("trailing"));
+        assert!(parse_l2("w2M").unwrap_err().contains("missing w"));
+    }
 }

@@ -16,6 +16,9 @@
 //! * [`fault`] — deterministic fault injection (directory NACKs with
 //!   retry/backoff, link degradation, memory-controller busy periods)
 //!   for robustness experiments.
+//! * [`obs`] — the cycle-level observability layer: per-class latency
+//!   histograms, epoch time-series, structured event tracing, and the
+//!   hand-rolled JSON machinery behind machine-readable run reports.
 //! * [`sim`] — the full-system simulator tying everything together.
 //! * [`stats`] — normalized stacked-bar charts and text tables in the
 //!   paper's reporting style.
@@ -46,6 +49,7 @@ pub use csim_config as config;
 pub use csim_core as sim;
 pub use csim_fault as fault;
 pub use csim_noc as noc;
+pub use csim_obs as obs;
 pub use csim_proc as proc;
 pub use csim_stats as stats;
 pub use csim_trace as trace;
@@ -57,10 +61,16 @@ pub mod prelude {
         CacheGeometry, IntegrationLevel, L2Kind, LatencyTable, OooParams, ProcessorModel,
         RacConfig, SystemConfig,
     };
-    pub use csim_core::{CoherenceViolation, MissBreakdown, SimError, SimReport, Simulation};
+    pub use csim_core::{
+        run_report_json, CoherenceViolation, MissBreakdown, SimError, SimReport, Simulation,
+    };
     pub use csim_fault::{FaultInjector, FaultPlan, FaultStats};
+    pub use csim_obs::{
+        version_string, MissClass, ObsConfig, Observer, PhaseProfile, RunManifest, TraceConfig,
+        TraceFilter,
+    };
     pub use csim_proc::{ExecBreakdown, StallClass};
-    pub use csim_stats::{Bar, BarChart, TextTable};
+    pub use csim_stats::{Bar, BarChart, LineChart, Series, TextTable};
     pub use csim_trace::{Access, ExecMode, MemRef, ReferenceStream};
     pub use csim_workload::{OltpParams, OltpWorkload};
 }
