@@ -16,6 +16,8 @@
 //! * `CSIM_QUICK=1` — shrink everything ~5x for smoke testing.
 //! * `CSIM_STRICT=1` — panic when a paper claim fails to reproduce.
 
+#![forbid(unsafe_code)]
+
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -106,6 +108,7 @@ pub fn run_sweep(sweep: &[Sweep], warm: u64, meas: u64) -> Vec<(String, SimRepor
                 let label = s.label.clone();
                 let cfg = s.config.clone();
                 scope.spawn(move || {
+                    // lint: allow(no-wallclock) — the bench harness exists to measure host runtime; results never enter a SimReport
                     let start = std::time::Instant::now();
                     let rep = run_config(&cfg, warm, meas);
                     eprintln!("  [{label}] done in {:.1}s", start.elapsed().as_secs_f64());

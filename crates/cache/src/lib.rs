@@ -25,6 +25,8 @@
 //! # Ok::<(), csim_config::ConfigError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod model;
 mod stack_distance;
 mod stats;

@@ -1,0 +1,57 @@
+//! Hermetic source-lint gate for the simulator workspace.
+//!
+//! ```text
+//! csim-lint [workspace-root]
+//! ```
+//!
+//! Scans `src/` of the root package and every crate under `crates/`,
+//! enforcing the contracts in [`csim_check::lint`]: no panics in library
+//! code, no wall-clock reads, no hash-ordered containers on export
+//! paths, and no `unsafe` anywhere. Exit status 0 when clean, 1 when any
+//! rule fires, 2 when the root is not a workspace.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use csim_check::lint::lint_workspace;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("csim-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if !report.escapes.is_empty() {
+        println!(
+            "{} documented exception{} in force:",
+            report.escapes.len(),
+            if report.escapes.len() == 1 { "" } else { "s" }
+        );
+        for escape in &report.escapes {
+            println!("  {}:{}: allow({}) — {}", escape.file, escape.line, escape.rule, escape.reason);
+        }
+    }
+    println!(
+        "csim-lint: {} files, {} finding{}, {} escape{}",
+        report.files,
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        report.escapes.len(),
+        if report.escapes.len() == 1 { "" } else { "s" },
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

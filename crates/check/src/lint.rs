@@ -1,0 +1,591 @@
+//! A hermetic source lint for the simulator workspace.
+//!
+//! This is not a general Rust linter — it enforces the handful of
+//! project-wide contracts that `rustc` and `clippy` cannot express, with
+//! zero dependencies so it runs anywhere the toolchain does:
+//!
+//! * **no-panic** — library code must not contain `unwrap`/`expect`/
+//!   `panic!`/`todo!`/`unimplemented!`/`unreachable!` outside tests.
+//!   Typed errors are values in this codebase; a panic in the simulation
+//!   core turns a reportable protocol violation into an abort.
+//!   (`assert!`/`debug_assert!` remain legal: they state invariants, not
+//!   error handling.)
+//! * **no-wallclock** — `SystemTime`/`Instant::now` are nondeterminism:
+//!   the same seed must produce the same report forever.
+//! * **no-hash-export** — report/export paths must not use
+//!   `HashMap`/`HashSet`, whose iteration order is free to vary; emitted
+//!   artifacts must be byte-stable.
+//! * **no-unsafe** — `unsafe` appears nowhere, and every crate root
+//!   carries `#![forbid(unsafe_code)]` so the compiler enforces it too.
+//!
+//! Findings point at real lines in stripped source (comments and string
+//! literals removed by a small state machine), so a rule name in a doc
+//! comment or an error message never trips the gate. Deliberate
+//! exceptions are escaped in place with
+//! `// lint: allow(<rule>) — reason`, which is counted and reported so
+//! exceptions stay visible instead of silently accumulating.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The enforced rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LintRule {
+    /// No panic-family calls in non-test library code.
+    NoPanic,
+    /// No wall-clock reads (`SystemTime`, `Instant::now`).
+    NoWallClock,
+    /// No hash-ordered containers in export/report paths.
+    NoHashExport,
+    /// No `unsafe` token anywhere.
+    NoUnsafe,
+    /// A crate root missing `#![forbid(unsafe_code)]`.
+    MissingForbidUnsafe,
+}
+
+impl LintRule {
+    /// The name used in escape markers: `// lint: allow(<name>) — why`.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintRule::NoPanic => "no-panic",
+            LintRule::NoWallClock => "no-wallclock",
+            LintRule::NoHashExport => "no-hash-export",
+            LintRule::NoUnsafe => "no-unsafe",
+            LintRule::MissingForbidUnsafe => "forbid-unsafe",
+        }
+    }
+}
+
+impl fmt::Display for LintRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: LintRule,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.excerpt)
+    }
+}
+
+/// One deliberate, documented exception.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintEscape {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-indexed line of the escaped code.
+    pub line: usize,
+    /// The rule escaped.
+    pub rule: LintRule,
+    /// The stated justification.
+    pub reason: String,
+}
+
+/// The result of linting a file set.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// Files scanned.
+    pub files: usize,
+    /// Violations (empty means the gate passes).
+    pub findings: Vec<LintFinding>,
+    /// Documented exceptions encountered.
+    pub escapes: Vec<LintEscape>,
+}
+
+impl LintReport {
+    /// True when no rule fired.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Replaces the contents of comments and string/char literals with
+/// spaces, preserving length and line structure so offsets keep meaning.
+/// Handles nested block comments, raw strings (`r#"..."#`), byte
+/// strings, and the char-literal/lifetime ambiguity.
+pub fn strip_noncode(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    let blank = |b: u8| if b == b'\n' { b'\n' } else { b' ' };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match (b, next) {
+            (b'/', Some(b'/')) => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            (b'/', Some(b'*')) => {
+                let mut depth = 1usize;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(blank(bytes[i]));
+                        i += 1;
+                    }
+                }
+            }
+            (b'r', Some(b'"' | b'#')) | (b'b', Some(b'r')) if raw_string_at(bytes, i).is_some() => {
+                let end = raw_string_at(bytes, i).unwrap_or(bytes.len());
+                for &sb in &bytes[i..end] {
+                    out.push(blank(sb));
+                }
+                i = end;
+            }
+            (b'"', _) | (b'b', Some(b'"')) => {
+                if b == b'b' {
+                    out.push(b' ');
+                    i += 1;
+                }
+                out.push(b' ');
+                i += 1;
+                while i < bytes.len() {
+                    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if bytes[i] == b'"' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(blank(bytes[i]));
+                        i += 1;
+                    }
+                }
+            }
+            (b'\'', _) => {
+                // Distinguish a char literal ('a', '\n', '\'') from a
+                // lifetime ('a in `&'a str`): a char literal closes with
+                // a quote after exactly one (possibly escaped) char.
+                let is_char = if bytes.get(i + 1) == Some(&b'\\') {
+                    true
+                } else {
+                    matches!((bytes.get(i + 1), bytes.get(i + 2)), (Some(_), Some(b'\'')))
+                };
+                if is_char {
+                    out.push(b' ');
+                    i += 1;
+                    while i < bytes.len() {
+                        if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                            out.extend_from_slice(b"  ");
+                            i += 2;
+                        } else if bytes[i] == b'\'' {
+                            out.push(b' ');
+                            i += 1;
+                            break;
+                        } else {
+                            out.push(blank(bytes[i]));
+                            i += 1;
+                        }
+                    }
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    // The scanner only pushed ASCII blanks or original bytes, so the
+    // result is as valid UTF-8 as the input was.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// If `bytes[i..]` starts a raw (byte) string, returns the index just
+/// past its closing quote.
+fn raw_string_at(bytes: &[u8], mut i: usize) -> Option<usize> {
+    if bytes.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut closing = 0usize;
+            while closing < hashes && bytes.get(j) == Some(&b'#') {
+                closing += 1;
+                j += 1;
+            }
+            if closing == hashes {
+                return Some(j);
+            }
+        }
+        i += 1;
+    }
+    Some(bytes.len())
+}
+
+/// Which rules apply to a file, by its workspace-relative path.
+#[derive(Clone, Copy, Debug)]
+struct Policy {
+    no_panic: bool,
+    no_wallclock: bool,
+    no_hash_export: bool,
+}
+
+fn policy_for(rel: &str) -> Policy {
+    // The bench harness drives threads and prints to a terminal; a panic
+    // there aborts a tool, not a simulation. Everything else is library
+    // or simulation code.
+    let bench = rel.starts_with("crates/bench/");
+    // Deterministic-artifact paths: anything that serializes reports,
+    // traces, or plots.
+    let export = rel.starts_with("crates/obs/src/")
+        || rel.starts_with("crates/stats/src/")
+        || rel == "crates/core/src/report.rs"
+        || rel == "crates/core/src/export.rs";
+    Policy { no_panic: !bench, no_wallclock: true, no_hash_export: export }
+}
+
+const PANIC_TOKENS: [&str; 6] =
+    [".unwrap()", ".expect(", "panic!", "unimplemented!", "todo!", "unreachable!"];
+const WALLCLOCK_TOKENS: [&str; 2] = ["SystemTime", "Instant::now"];
+const HASH_TOKENS: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Scans one escape marker out of a raw source line:
+/// `// lint: allow(<rule>) — reason`.
+fn escape_on(raw_line: &str) -> Option<(&str, &str)> {
+    let idx = raw_line.find("// lint: allow(")?;
+    let rest = &raw_line[idx + "// lint: allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim();
+    let reason = rest[close + 1..].trim_start_matches([' ', '-', '—', ':']).trim();
+    Some((rule, reason))
+}
+
+/// Lints one file's source text. `rel` is the workspace-relative path
+/// used both for reporting and for policy selection.
+pub fn lint_file(rel: &str, source: &str) -> (Vec<LintFinding>, Vec<LintEscape>) {
+    let policy = policy_for(rel);
+    let stripped = strip_noncode(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+
+    let mut findings = Vec::new();
+    let mut escapes = Vec::new();
+    let mut depth: i64 = 0;
+    let mut pending_test_attr = false;
+    let mut test_block_depth: Option<i64> = None;
+
+    for (idx, stripped_line) in stripped_lines.iter().enumerate() {
+        let raw_line = raw_lines.get(idx).copied().unwrap_or("");
+        let in_test = test_block_depth.is_some();
+        if !in_test && stripped_line.contains("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+
+        if !in_test && !pending_test_attr {
+            let mut check = |rule: LintRule, tokens: &[&str]| {
+                let hit = tokens.iter().any(|t| match *t {
+                    // `unsafe` needs word-boundary care; substrings do not.
+                    "unsafe" => has_word(stripped_line, "unsafe"),
+                    t => stripped_line.contains(t),
+                });
+                if !hit {
+                    return;
+                }
+                // An escape marker counts on the same line or up to three
+                // lines above, so wrapped expressions (`CacheGeometry::new(..)
+                // \n .expect(..)`) stay escapable without relaxing the rule.
+                let marker = (idx.saturating_sub(3)..=idx)
+                    .rev()
+                    .find_map(|p| escape_on(raw_lines[p]));
+                match marker {
+                    Some((name, reason)) if name == rule.name() && !reason.is_empty() => {
+                        escapes.push(LintEscape {
+                            file: rel.to_string(),
+                            line: idx + 1,
+                            rule,
+                            reason: reason.to_string(),
+                        });
+                    }
+                    _ => findings.push(LintFinding {
+                        file: rel.to_string(),
+                        line: idx + 1,
+                        rule,
+                        excerpt: raw_line.trim().to_string(),
+                    }),
+                }
+            };
+            if policy.no_panic {
+                check(LintRule::NoPanic, &PANIC_TOKENS);
+            }
+            if policy.no_wallclock {
+                check(LintRule::NoWallClock, &WALLCLOCK_TOKENS);
+            }
+            if policy.no_hash_export {
+                check(LintRule::NoHashExport, &HASH_TOKENS);
+            }
+            check(LintRule::NoUnsafe, &["unsafe"]);
+        }
+
+        for ch in stripped_line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_test_attr {
+                        test_block_depth = Some(depth - 1);
+                        pending_test_attr = false;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_block_depth == Some(depth) {
+                        test_block_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Crate roots must carry the compiler-enforced twin of no-unsafe.
+    let is_crate_root = rel.ends_with("src/lib.rs");
+    if is_crate_root && !source.contains("#![forbid(unsafe_code)]") {
+        findings.push(LintFinding {
+            file: rel.to_string(),
+            line: 1,
+            rule: LintRule::MissingForbidUnsafe,
+            excerpt: "crate root lacks #![forbid(unsafe_code)]".to_string(),
+        });
+    }
+    (findings, escapes)
+}
+
+fn has_word(line: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !line[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = after >= line.len()
+            || !line[after..].chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Recursively collects the `.rs` files the gate covers: `src/` of the
+/// root package and of every crate under `crates/`. Tests, benches and
+/// examples are exercised code, not shipped code — they are exempt.
+fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut roots = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    for r in roots {
+        walk(&r, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// I/O errors reading the tree (a missing `crates/` directory is an
+/// error: it means the lint is running in the wrong place).
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    if !root.join("crates").is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} has no crates/ directory — not the workspace root", root.display()),
+        ));
+    }
+    let mut report = LintReport::default();
+    for path in collect_sources(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&path)?;
+        let (findings, escapes) = lint_file(&rel, &source);
+        report.files += 1;
+        report.findings.extend(findings);
+        report.escapes.extend(escapes);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripper_removes_comments_and_strings_but_keeps_lines() {
+        let src = "let a = 1; // unwrap() in a comment\nlet b = \".expect(\"; /* panic!\nstill */ let c;\n";
+        let out = strip_noncode(src);
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert!(!out.contains("unwrap"));
+        assert!(!out.contains("expect"));
+        assert!(!out.contains("panic"));
+        assert!(out.contains("let a = 1;"));
+        assert!(out.contains("let c;"));
+    }
+
+    #[test]
+    fn stripper_handles_raw_strings_and_chars() {
+        let src = "let r = r#\"panic! \"quoted\" unwrap()\"#; let l: &'a str = x; let c = '\\''; let d = 'x';";
+        let out = strip_noncode(src);
+        assert!(!out.contains("panic"));
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("&'a str"), "lifetimes survive: {out}");
+        assert_eq!(out.len(), src.len());
+    }
+
+    #[test]
+    fn panics_in_test_modules_are_ignored() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn g() { y.unwrap(); }\n";
+        let (findings, _) = lint_file("crates/cache/src/model.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 6);
+        assert_eq!(findings[0].rule, LintRule::NoPanic);
+    }
+
+    #[test]
+    fn escape_markers_convert_findings_into_escapes() {
+        let src = "fn f() {\n    // lint: allow(no-panic) — geometry is a compile-time constant\n    let g = geo.expect(\"checked\");\n}\n";
+        let (findings, escapes) = lint_file("crates/config/src/system.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(escapes.len(), 1);
+        assert_eq!(escapes[0].rule, LintRule::NoPanic);
+        assert!(escapes[0].reason.contains("compile-time"));
+    }
+
+    #[test]
+    fn escapes_without_reasons_do_not_count() {
+        let src = "fn f() {\n    // lint: allow(no-panic)\n    let g = geo.expect(\"checked\");\n}\n";
+        let (findings, escapes) = lint_file("crates/config/src/system.rs", src);
+        assert_eq!(findings.len(), 1, "a bare escape with no reason is not an escape");
+        assert!(escapes.is_empty());
+    }
+
+    #[test]
+    fn wallclock_and_unsafe_are_flagged_everywhere() {
+        let src = "fn f() { let t = Instant::now(); }\nunsafe fn g() {}\n";
+        let (findings, _) = lint_file("crates/bench/src/lib.rs", src);
+        // bench is exempt from no-panic but not from determinism/unsafe.
+        let rules: Vec<LintRule> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&LintRule::NoWallClock), "{findings:?}");
+        assert!(rules.contains(&LintRule::NoUnsafe), "{findings:?}");
+    }
+
+    #[test]
+    fn hash_containers_flagged_only_in_export_paths() {
+        let src = "use std::collections::HashMap;\n";
+        let (f1, _) = lint_file("crates/obs/src/json.rs", src);
+        assert_eq!(f1.len(), 1);
+        assert_eq!(f1[0].rule, LintRule::NoHashExport);
+        let (f2, _) = lint_file("crates/coherence/src/directory.rs", src);
+        assert!(f2.is_empty(), "hash maps are fine off the export paths: {f2:?}");
+    }
+
+    #[test]
+    fn crate_roots_must_forbid_unsafe() {
+        let (findings, _) = lint_file("crates/cache/src/lib.rs", "pub mod model;\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, LintRule::MissingForbidUnsafe);
+        let (ok, _) =
+            lint_file("crates/cache/src/lib.rs", "#![forbid(unsafe_code)]\npub mod model;\n");
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn unsafe_matches_words_not_substrings() {
+        assert!(has_word("unsafe fn x()", "unsafe"));
+        assert!(has_word("{ unsafe }", "unsafe"));
+        assert!(!has_word("an_unsafe_looking_name", "unsafe"));
+        assert!(!has_word("unsafety", "unsafe"));
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        let src = "fn f() { let x = a.unwrap_or(0); let y = b.unwrap_or_else(foo); let z = c.unwrap_or_default(); }\n";
+        let (findings, _) = lint_file("crates/cache/src/model.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn workspace_lint_runs_on_this_repo_and_is_clean() {
+        // The real gate: the actual workspace must lint clean. This test
+        // is the same check CI runs via the csim-lint binary.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = lint_workspace(&root).expect("workspace readable");
+        assert!(report.files > 30, "expected to scan the whole workspace, saw {}", report.files);
+        let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+        assert!(report.clean(), "lint violations:\n{}", rendered.join("\n"));
+    }
+
+    #[test]
+    fn missing_workspace_root_is_an_error() {
+        assert!(lint_workspace(Path::new("/nonexistent-lint-root")).is_err());
+    }
+}

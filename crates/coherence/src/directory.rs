@@ -1,6 +1,7 @@
 //! The full-map directory protocol state machine.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::node_set::{NodeId, NodeSet};
@@ -75,6 +76,68 @@ pub struct WriteOutcome {
     /// upgrade/ownership request rather than a full data fetch).
     pub upgrade: bool,
 }
+
+/// A protocol transition that the directory refused because it does not
+/// apply to the line's current state.
+///
+/// Before these errors existed, a misuse (say, a writeback from a node
+/// that is not the recorded owner) was only caught by a `debug_assert!`;
+/// in release builds the directory silently transitioned the line to
+/// `Uncached`, losing the real owner's dirty copy — exactly the
+/// lost-writeback corruption the model checker in `csim-check` is built
+/// to catch. Refused transitions now leave the directory state
+/// untouched and report *why* as a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The operation names a line the directory has never tracked.
+    UntrackedLine {
+        /// The operation attempted (`"writeback"`, ...).
+        op: &'static str,
+        /// The line address.
+        line: u64,
+    },
+    /// The operation is only legal for the line's current owner, and
+    /// `node` is not it (or the line is not `Modified` at all).
+    NotOwner {
+        /// The operation attempted.
+        op: &'static str,
+        /// The line address.
+        line: u64,
+        /// The node that attempted the transition.
+        node: NodeId,
+        /// The directory state the line actually had.
+        state: LineState,
+    },
+    /// A state handed to [`Directory::seed_state`] is not representable
+    /// by the protocol (out-of-range node ids, or `Shared` with an empty
+    /// sharer set — a dead state no legal transition sequence reaches).
+    InvalidSeed {
+        /// The line address.
+        line: u64,
+        /// The rejected state.
+        state: LineState,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UntrackedLine { op, line } => {
+                write!(f, "{op} for untracked line {line:#x}")
+            }
+            ProtocolError::NotOwner { op, line, node, state } => write!(
+                f,
+                "{op} by node {node} for line {line:#x}, which is {state:?} (not owned by {node})"
+            ),
+            ProtocolError::InvalidSeed { line, state } => {
+                write!(f, "cannot seed line {line:#x} with unrepresentable state {state:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
 
 /// Protocol event counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -309,57 +372,115 @@ impl Directory {
     /// The owner evicted its modified copy and wrote the data back to the
     /// home memory. The line becomes `Uncached`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics in debug builds if `node` is not the recorded owner.
-    pub fn writeback(&mut self, line: u64, node: NodeId) {
-        let state = self.entries.get_mut(&line).expect("writeback for untracked line");
-        if let LineState::Modified { owner, .. } = *state {
-            debug_assert_eq!(owner, node, "writeback from non-owner node {node} for line {line:#x}");
-        } else {
-            debug_assert!(false, "writeback for non-modified line {line:#x}");
+    /// [`ProtocolError::UntrackedLine`] for a line the directory never
+    /// tracked; [`ProtocolError::NotOwner`] when `node` is not the
+    /// recorded owner (including lines that are not `Modified` at all).
+    /// A refused writeback leaves the directory state untouched, so an
+    /// erroneous caller cannot lose the real owner's dirty copy.
+    pub fn writeback(&mut self, line: u64, node: NodeId) -> Result<(), ProtocolError> {
+        let Some(state) = self.entries.get_mut(&line) else {
+            return Err(ProtocolError::UntrackedLine { op: "writeback", line });
+        };
+        match *state {
+            LineState::Modified { owner, .. } if owner == node => {
+                self.stats.writebacks += 1;
+                *state = LineState::Uncached;
+                Ok(())
+            }
+            other => Err(ProtocolError::NotOwner { op: "writeback", line, node, state: other }),
         }
-        self.stats.writebacks += 1;
-        *state = LineState::Uncached;
     }
 
     /// A sharer evicted its read-only copy (optional notification; silent
     /// clean evictions are also legal, leaving a stale presence bit that
     /// only costs a spurious invalidation message later).
-    pub fn drop_sharer(&mut self, line: u64, node: NodeId) {
-        if let Some(state) = self.entries.get_mut(&line) {
-            if let LineState::Shared(sharers) = state {
-                sharers.remove(node);
-                if sharers.is_empty() {
-                    *state = LineState::Uncached;
-                }
-            }
+    ///
+    /// Returns `true` when the notification removed a recorded presence
+    /// bit (dropping the last sharer returns the line to `Uncached`);
+    /// `false` when it was stale — the line is untracked, not `Shared`,
+    /// or `node` was not in the sharer set. Stale notifications are legal
+    /// and leave the directory untouched.
+    pub fn drop_sharer(&mut self, line: u64, node: NodeId) -> bool {
+        let Some(state) = self.entries.get_mut(&line) else { return false };
+        let LineState::Shared(sharers) = state else { return false };
+        if !sharers.contains(node) {
+            return false;
         }
+        sharers.remove(node);
+        if sharers.is_empty() {
+            *state = LineState::Uncached;
+        }
+        true
     }
 
     /// The owner moved its modified copy from L2 into its RAC (dirty L2
     /// victim parked in the RAC instead of being written back home).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics in debug builds if `node` is not the recorded owner.
-    pub fn owner_moved_to_rac(&mut self, line: u64, node: NodeId) {
-        if let Some(state) = self.entries.get_mut(&line) {
-            if let LineState::Modified { owner, .. } = *state {
-                debug_assert_eq!(owner, node, "non-owner {node} parking line {line:#x} in RAC");
-                *state = LineState::Modified { owner, in_rac: true };
-            }
-        }
+    /// [`ProtocolError::UntrackedLine`] / [`ProtocolError::NotOwner`] as
+    /// for [`Directory::writeback`]; a refused park changes nothing.
+    pub fn owner_moved_to_rac(&mut self, line: u64, node: NodeId) -> Result<(), ProtocolError> {
+        self.set_rac_residence(line, node, true, "owner_moved_to_rac")
     }
 
     /// The owner pulled its modified copy back from its RAC into its L2.
-    pub fn owner_refetched_from_rac(&mut self, line: u64, node: NodeId) {
-        if let Some(state) = self.entries.get_mut(&line) {
-            if let LineState::Modified { owner, .. } = *state {
-                debug_assert_eq!(owner, node, "non-owner {node} refetching line {line:#x}");
-                *state = LineState::Modified { owner, in_rac: false };
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UntrackedLine`] / [`ProtocolError::NotOwner`] as
+    /// for [`Directory::writeback`]; a refused refetch changes nothing.
+    pub fn owner_refetched_from_rac(&mut self, line: u64, node: NodeId) -> Result<(), ProtocolError> {
+        self.set_rac_residence(line, node, false, "owner_refetched_from_rac")
+    }
+
+    fn set_rac_residence(
+        &mut self,
+        line: u64,
+        node: NodeId,
+        in_rac: bool,
+        op: &'static str,
+    ) -> Result<(), ProtocolError> {
+        let Some(state) = self.entries.get_mut(&line) else {
+            return Err(ProtocolError::UntrackedLine { op, line });
+        };
+        match *state {
+            LineState::Modified { owner, .. } if owner == node => {
+                *state = LineState::Modified { owner, in_rac };
+                Ok(())
             }
+            other => Err(ProtocolError::NotOwner { op, line, node, state: other }),
         }
+    }
+
+    /// Forces a line into a given directory state, bypassing the normal
+    /// transitions. This is a hook for exhaustive checkers and tests
+    /// (`csim-check` materializes every abstract state it explores
+    /// through it); the simulator itself never calls it.
+    ///
+    /// Seeding `Uncached` records a tombstone, exactly as a writeback
+    /// would, so cold-miss tracking stays meaningful.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidSeed`] when the state is unrepresentable:
+    /// a node id at or beyond [`Directory::n_nodes`], or `Shared` with an
+    /// empty sharer set (a dead state no legal transition reaches).
+    pub fn seed_state(&mut self, line: u64, state: LineState) -> Result<(), ProtocolError> {
+        let valid = match state {
+            LineState::Uncached => true,
+            LineState::Shared(sharers) => {
+                !sharers.is_empty() && sharers.iter().all(|n| n < self.n_nodes)
+            }
+            LineState::Modified { owner, .. } => owner < self.n_nodes,
+        };
+        if !valid {
+            return Err(ProtocolError::InvalidSeed { line, state });
+        }
+        self.entries.insert(line, state);
+        Ok(())
     }
 
     /// Number of tracked lines (including `Uncached` tombstones); for
@@ -368,10 +489,16 @@ impl Directory {
         self.entries.len()
     }
 
-    /// Iterates over every tracked line and its state (arbitrary order;
-    /// includes `Uncached` tombstones). Used by invariant checkers.
+    /// Iterates over every tracked line and its state in ascending line
+    /// order (includes `Uncached` tombstones). Used by invariant
+    /// checkers and the runtime sanitizer's shadow audit; the ordering
+    /// guarantee makes "the first violation found" a stable, meaningful
+    /// notion rather than an accident of hash layout.
     pub fn iter(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
-        self.entries.iter().map(|(&line, &state)| (line, state))
+        let mut lines: Vec<(u64, LineState)> =
+            self.entries.iter().map(|(&line, &state)| (line, state)).collect();
+        lines.sort_unstable_by_key(|&(line, _)| line);
+        lines.into_iter()
     }
 }
 
@@ -464,7 +591,7 @@ mod tests {
     fn writeback_returns_line_to_memory() {
         let mut dir = dir8();
         dir.write_miss(42, 1);
-        dir.writeback(42, 1);
+        dir.writeback(42, 1).unwrap();
         assert_eq!(dir.state(42), LineState::Uncached);
         // Next reader fetches clean data from home — a 2-hop, not 3-hop.
         let r = dir.read_miss(42, 2);
@@ -484,7 +611,7 @@ mod tests {
 
         let mut evicted = dir8();
         evicted.write_miss(7, 0);
-        evicted.writeback(7, 0); // small cache evicted the line
+        evicted.writeback(7, 0).unwrap(); // small cache evicted the line
         let r = evicted.read_miss(7, 1);
         assert_eq!(r.source, FillSource::Home);
     }
@@ -493,7 +620,7 @@ mod tests {
     fn rac_parking_is_tracked() {
         let mut dir = dir8();
         dir.write_miss(42, 1);
-        dir.owner_moved_to_rac(42, 1);
+        dir.owner_moved_to_rac(42, 1).unwrap();
         assert_eq!(dir.state(42), LineState::Modified { owner: 1, in_rac: true });
         let r = dir.read_miss(42, 2);
         assert_eq!(r.source, FillSource::OwnerCache { owner: 1, in_rac: true });
@@ -503,8 +630,8 @@ mod tests {
     fn rac_refetch_clears_flag() {
         let mut dir = dir8();
         dir.write_miss(42, 1);
-        dir.owner_moved_to_rac(42, 1);
-        dir.owner_refetched_from_rac(42, 1);
+        dir.owner_moved_to_rac(42, 1).unwrap();
+        dir.owner_refetched_from_rac(42, 1).unwrap();
         assert_eq!(dir.state(42), LineState::Modified { owner: 1, in_rac: false });
     }
 
@@ -513,10 +640,121 @@ mod tests {
         let mut dir = dir8();
         dir.read_miss(42, 0);
         dir.read_miss(42, 1);
-        dir.drop_sharer(42, 0);
+        assert!(dir.drop_sharer(42, 0));
         assert_eq!(dir.state(42), LineState::Shared(NodeSet::single(1)));
-        dir.drop_sharer(42, 1);
+        assert!(dir.drop_sharer(42, 1));
         assert_eq!(dir.state(42), LineState::Uncached);
+    }
+
+    #[test]
+    fn drop_of_last_sharer_keeps_cold_tracking() {
+        // Regression (model-checker finding follow-up): the last sharer's
+        // notification returns the line to Uncached via a tombstone, so
+        // a re-read is a plain 2-hop re-fetch, not a cold miss.
+        let mut dir = dir8();
+        dir.read_miss(42, 3);
+        assert!(dir.drop_sharer(42, 3));
+        assert_eq!(dir.state(42), LineState::Uncached);
+        let r = dir.read_miss(42, 4);
+        assert!(!r.cold, "drop of the last sharer must not reset cold tracking");
+        assert_eq!(r.source, FillSource::Home);
+    }
+
+    #[test]
+    fn stale_drop_notifications_are_inert() {
+        let mut dir = dir8();
+        dir.read_miss(42, 0);
+        assert!(!dir.drop_sharer(42, 5), "node 5 never held the line");
+        assert!(!dir.drop_sharer(99, 0), "line 99 was never tracked");
+        dir.write_miss(7, 2);
+        assert!(!dir.drop_sharer(7, 2), "modified lines leave via writeback, not drop");
+        assert_eq!(dir.state(7), LineState::Modified { owner: 2, in_rac: false });
+        assert_eq!(dir.state(42), LineState::Shared(NodeSet::single(0)));
+    }
+
+    #[test]
+    fn writeback_from_non_owner_is_refused_and_harmless() {
+        // Regression for the model checker's lost-writeback hazard: in
+        // release builds the old code silently transitioned the line to
+        // Uncached, losing node 1's dirty copy.
+        let mut dir = dir8();
+        dir.write_miss(42, 1);
+        let err = dir.writeback(42, 3).unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::NotOwner {
+                op: "writeback",
+                line: 42,
+                node: 3,
+                state: LineState::Modified { owner: 1, in_rac: false },
+            }
+        );
+        assert_eq!(
+            dir.state(42),
+            LineState::Modified { owner: 1, in_rac: false },
+            "a refused writeback must not disturb the real owner"
+        );
+        assert_eq!(dir.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn writeback_of_shared_line_is_refused() {
+        let mut dir = dir8();
+        dir.read_miss(42, 0);
+        dir.read_miss(42, 1);
+        assert!(matches!(dir.writeback(42, 0), Err(ProtocolError::NotOwner { .. })));
+        let expected: NodeSet = [0u8, 1].into_iter().collect();
+        assert_eq!(dir.state(42), LineState::Shared(expected), "sharers must survive");
+    }
+
+    #[test]
+    fn rac_transitions_from_non_owner_are_refused() {
+        let mut dir = dir8();
+        dir.write_miss(42, 1);
+        assert!(matches!(dir.owner_moved_to_rac(42, 2), Err(ProtocolError::NotOwner { .. })));
+        assert!(matches!(dir.owner_moved_to_rac(99, 1), Err(ProtocolError::UntrackedLine { .. })));
+        assert_eq!(dir.state(42), LineState::Modified { owner: 1, in_rac: false });
+        dir.owner_moved_to_rac(42, 1).unwrap();
+        assert!(matches!(
+            dir.owner_refetched_from_rac(42, 0),
+            Err(ProtocolError::NotOwner { .. })
+        ));
+        assert_eq!(dir.state(42), LineState::Modified { owner: 1, in_rac: true });
+    }
+
+    #[test]
+    fn seed_state_round_trips_and_validates() {
+        let mut dir = dir8();
+        let shared: NodeSet = [1u8, 4].into_iter().collect();
+        dir.seed_state(10, LineState::Shared(shared)).unwrap();
+        assert_eq!(dir.state(10), LineState::Shared(shared));
+        dir.seed_state(11, LineState::Modified { owner: 7, in_rac: true }).unwrap();
+        assert_eq!(dir.state(11), LineState::Modified { owner: 7, in_rac: true });
+        dir.seed_state(12, LineState::Uncached).unwrap();
+        assert_eq!(dir.tracked_lines(), 3, "Uncached seeds leave a tombstone");
+        assert!(!dir.read_miss(12, 0).cold, "a seeded tombstone is not a cold line");
+
+        // Dead or unrepresentable states are refused.
+        let err = dir.seed_state(13, LineState::Shared(NodeSet::empty())).unwrap_err();
+        assert!(matches!(err, ProtocolError::InvalidSeed { line: 13, .. }));
+        assert!(dir.seed_state(13, LineState::Modified { owner: 8, in_rac: false }).is_err());
+        assert!(dir
+            .seed_state(13, LineState::Shared(NodeSet::single(9)))
+            .is_err());
+    }
+
+    #[test]
+    fn protocol_errors_display_specifics() {
+        let e = ProtocolError::NotOwner {
+            op: "writeback",
+            line: 0x40,
+            node: 3,
+            state: LineState::Uncached,
+        };
+        let s = e.to_string();
+        assert!(s.contains("writeback") && s.contains("0x40") && s.contains("node 3"));
+        let e = ProtocolError::UntrackedLine { op: "owner_moved_to_rac", line: 7 };
+        assert!(e.to_string().contains("untracked"));
     }
 
     #[test]
@@ -537,10 +775,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "untracked")]
-    fn writeback_of_untracked_line_panics() {
+    fn writeback_of_untracked_line_is_a_typed_error() {
         let mut dir = dir8();
-        dir.writeback(42, 0);
+        assert_eq!(
+            dir.writeback(42, 0),
+            Err(ProtocolError::UntrackedLine { op: "writeback", line: 42 })
+        );
     }
 
     #[test]

@@ -36,8 +36,12 @@
 //! assert_eq!(r.downgraded_owner, Some(3));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod directory;
 mod node_set;
 
-pub use directory::{Directory, DirectoryStats, FillSource, LineState, ReadOutcome, WriteOutcome};
+pub use directory::{
+    Directory, DirectoryStats, FillSource, LineState, ProtocolError, ReadOutcome, WriteOutcome,
+};
 pub use node_set::{NodeId, NodeSet};

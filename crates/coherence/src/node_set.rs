@@ -76,6 +76,19 @@ impl NodeSet {
         s
     }
 
+    /// The raw presence bitmap (bit `i` set ⇔ node `i` present). Stable
+    /// across versions; used by state-space encoders and tests.
+    pub fn bits(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a set from a raw presence bitmap, the inverse of
+    /// [`NodeSet::bits`]. Every `u64` is a valid bitmap (bit `i` means
+    /// node `i`, for `i < 64`).
+    pub fn from_bits(bits: u64) -> NodeSet {
+        NodeSet(bits)
+    }
+
     /// Iterates over member node ids in ascending order.
     pub fn iter(&self) -> Iter {
         Iter(self.0)

@@ -28,6 +28,8 @@
 //! # Ok::<(), csim_config::ConfigError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod error;
 mod geometry;
 mod integration;

@@ -9,6 +9,7 @@
 use std::error::Error;
 use std::fmt;
 
+use csim_check::SanitizerError;
 use csim_coherence::NodeId;
 use csim_fault::FaultPlanError;
 use csim_workload::ParamsError;
@@ -107,6 +108,9 @@ pub enum SimError {
     FaultPlan(FaultPlanError),
     /// A strict-mode run found a coherence violation.
     Coherence(CoherenceViolation),
+    /// The runtime sanitizer found a directory transition that diverges
+    /// from the executable protocol spec.
+    Sanitizer(SanitizerError),
 }
 
 impl fmt::Display for SimError {
@@ -122,6 +126,7 @@ impl fmt::Display for SimError {
             SimError::Params(e) => write!(f, "invalid workload parameters: {e}"),
             SimError::FaultPlan(e) => write!(f, "{e}"),
             SimError::Coherence(v) => write!(f, "coherence violated: {v}"),
+            SimError::Sanitizer(e) => write!(f, "protocol spec divergence: {e}"),
         }
     }
 }
@@ -132,6 +137,7 @@ impl Error for SimError {
             SimError::Params(e) => Some(e),
             SimError::FaultPlan(e) => Some(e),
             SimError::Coherence(v) => Some(v),
+            SimError::Sanitizer(e) => Some(e),
             _ => None,
         }
     }
@@ -152,6 +158,12 @@ impl From<FaultPlanError> for SimError {
 impl From<CoherenceViolation> for SimError {
     fn from(v: CoherenceViolation) -> Self {
         SimError::Coherence(v)
+    }
+}
+
+impl From<SanitizerError> for SimError {
+    fn from(e: SanitizerError) -> Self {
+        SimError::Sanitizer(e)
     }
 }
 

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use csim_cache::Cache;
+use csim_check::Sanitizer;
 use csim_coherence::{Directory, FillSource, LineState, NodeId, NodeSet};
 use csim_config::{LatencyTable, SystemConfig, LINE_SIZE, PAGE_SIZE};
 use csim_fault::{FaultInjector, FaultStats, TransactionKind};
@@ -59,6 +60,7 @@ pub struct Simulation<S = NodeWorkload> {
     txn_baseline: u64,
     injector: Option<FaultInjector>,
     observer: Observer,
+    sanitizer: Option<Box<Sanitizer>>,
 }
 
 impl Simulation<NodeWorkload> {
@@ -87,6 +89,7 @@ impl<S: ReferenceStream> Simulation<S> {
     /// core) or the node count exceeds the directory's 64-node limit.
     /// [`Simulation::try_new`] is the non-panicking equivalent.
     pub fn new(cfg: &SystemConfig, streams: Vec<S>) -> Self {
+        // lint: allow(no-panic) — documented panicking constructor; try_new is the fallible API
         Self::try_new(cfg, streams).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -138,6 +141,7 @@ impl<S: ReferenceStream> Simulation<S> {
             txn_baseline: 0,
             injector: None,
             observer: Observer::disabled(),
+            sanitizer: None,
         })
     }
 
@@ -172,6 +176,48 @@ impl<S: ReferenceStream> Simulation<S> {
     /// Wires an observer into an existing simulation.
     pub fn set_observer(&mut self, observer: Observer) {
         self.observer = observer;
+    }
+
+    /// Enables the runtime coherence sanitizer (builder style): every
+    /// directory transition is cross-checked against an independent
+    /// executable spec of the protocol, on a shadow copy of the
+    /// directory. Enable it *before* the first reference runs — the
+    /// shadow can only vouch for histories it has seen from reset.
+    ///
+    /// Zero-overhead contract: with the sanitizer off (the default),
+    /// every [`SimReport`] is bit-identical to a build that never heard
+    /// of it; on, the simulated machine is unchanged and only host time
+    /// is spent.
+    pub fn with_sanitizer(mut self) -> Self {
+        self.set_sanitize(true);
+        self
+    }
+
+    /// Enables or disables the sanitizer on an existing simulation.
+    /// Turning it on mid-run discards nothing but starts a fresh shadow,
+    /// which is only sound at reset; prefer enabling it at construction.
+    pub fn set_sanitize(&mut self, on: bool) {
+        self.sanitizer = if on { Some(Box::new(Sanitizer::new())) } else { None };
+    }
+
+    /// Number of directory transitions the sanitizer has cross-checked,
+    /// when it is enabled.
+    pub fn sanitizer_checks(&self) -> Option<u64> {
+        self.sanitizer.as_deref().map(Sanitizer::checks)
+    }
+
+    /// Audits the sanitizer's verdict: the first latched per-transition
+    /// divergence if any, then a full shadow-vs-live directory sweep.
+    /// `Ok(())` when the sanitizer is disabled.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Sanitizer`] describing the first divergence.
+    pub fn verify_sanitizer(&self) -> Result<(), SimError> {
+        match self.sanitizer.as_deref() {
+            None => Ok(()),
+            Some(sz) => sz.verify_shadow(&self.dir).map_err(SimError::from),
+        }
     }
 
     /// The observer (disabled by default), for reading back what it
@@ -220,9 +266,11 @@ impl<S: ReferenceStream> Simulation<S> {
             let chunk = remaining.min(every);
             self.advance(chunk);
             self.verify_coherence()?;
+            self.verify_sanitizer()?;
             remaining -= chunk;
         }
         self.verify_coherence()?;
+        self.verify_sanitizer()?;
         Ok(self.report(refs_per_node))
     }
 
@@ -423,7 +471,11 @@ impl<S: ReferenceStream> Simulation<S> {
     /// (NACKs surface in the directory counters), and a traced
     /// writeback event.
     fn writeback(&mut self, n: usize, line: u64) {
-        self.dir.writeback(line, n as NodeId);
+        let wb = self.dir.writeback(line, n as NodeId);
+        debug_assert!(wb.is_ok(), "simulator issued an illegal writeback: {wb:?}");
+        if let Some(sz) = self.sanitizer.as_deref_mut() {
+            sz.on_writeback(&self.dir, line, n as NodeId, wb);
+        }
         if let Some(inj) = &mut self.injector {
             let nacks_before = inj.stats().nacks;
             inj.writeback();
@@ -519,6 +571,9 @@ impl<S: ReferenceStream> Simulation<S> {
             out.previous_owner.is_none(),
             "a cached line cannot be modified elsewhere (line {line:#x})"
         );
+        if let Some(sz) = self.sanitizer.as_deref_mut() {
+            sz.on_write_miss(&self.dir, line, n as NodeId, &out);
+        }
         self.invalidate_nodes(n, out.invalidate, line);
         let node = &mut self.nodes[n];
         node.l2.mark_dirty(line);
@@ -571,27 +626,28 @@ impl<S: ReferenceStream> Simulation<S> {
         let remote_home = home != n as NodeId;
 
         // Remote access cache: probed for remote lines after an L2 miss.
-        if remote_home && self.nodes[n].rac.is_some() {
-            let rac_hit = self
-                .nodes[n]
-                .rac
-                .as_mut()
-                .expect("rac checked above")
-                .access(line, false)
-                .is_hit();
-            if rac_hit {
-                self.rac_hit(n, c, line, is_ifetch, write);
-                return;
+        if remote_home {
+            if let Some(rac) = self.nodes[n].rac.as_mut() {
+                if rac.access(line, false).is_hit() {
+                    self.rac_hit(n, c, line, is_ifetch, write);
+                    return;
+                }
+                self.nodes[n].rac_stats.misses += 1;
             }
-            self.nodes[n].rac_stats.misses += 1;
         }
 
         // Directory transaction.
         let (source, cold, downgraded, invalidate, previous_owner) = if write {
             let out = self.dir.write_miss(line, n as NodeId);
+            if let Some(sz) = self.sanitizer.as_deref_mut() {
+                sz.on_write_miss(&self.dir, line, n as NodeId, &out);
+            }
             (out.source, out.cold, None, out.invalidate, out.previous_owner)
         } else {
             let out = self.dir.read_miss(line, n as NodeId);
+            if let Some(sz) = self.sanitizer.as_deref_mut() {
+                sz.on_read_miss(&self.dir, line, n as NodeId, &out);
+            }
             (out.source, out.cold, out.downgraded_owner, NodeSet::empty(), None)
         };
 
@@ -660,8 +716,14 @@ impl<S: ReferenceStream> Simulation<S> {
         }
         if parked_dirty {
             // Our own modified line comes back from the RAC into the L2.
-            self.dir.owner_refetched_from_rac(line, n as NodeId);
-            self.nodes[n].rac.as_mut().expect("rac exists").invalidate(line);
+            let refetched = self.dir.owner_refetched_from_rac(line, n as NodeId);
+            debug_assert!(refetched.is_ok(), "illegal RAC refetch: {refetched:?}");
+            if let Some(sz) = self.sanitizer.as_deref_mut() {
+                sz.on_rac_refetch(&self.dir, line, n as NodeId, refetched);
+            }
+            if let Some(rac) = self.nodes[n].rac.as_mut() {
+                rac.invalidate(line);
+            }
             self.charge(n, c, StallClass::Local, self.latencies.rac_hit, MissClass::Local, line);
             self.fill(n, c, line, true, is_ifetch, write);
             return;
@@ -671,6 +733,9 @@ impl<S: ReferenceStream> Simulation<S> {
             // at the (remote) home, data supplied locally by the RAC.
             let out = self.dir.write_miss(line, n as NodeId);
             debug_assert!(out.previous_owner.is_none(), "valid RAC copy excludes a remote owner");
+            if let Some(sz) = self.sanitizer.as_deref_mut() {
+                sz.on_write_miss(&self.dir, line, n as NodeId, &out);
+            }
             self.invalidate_nodes(n, out.invalidate, line);
             self.nodes[n].upgrades += 1;
             let latency = self.latencies.remote_clean;
@@ -693,21 +758,28 @@ impl<S: ReferenceStream> Simulation<S> {
             }
             if v.dirty {
                 let victim_home = self.dir.home(v.line);
-                let parkable = victim_home != n as NodeId && self.nodes[n].rac.is_some();
-                if parkable {
-                    let rac = self.nodes[n].rac.as_mut().expect("rac exists");
-                    if rac.mark_dirty(v.line) {
-                        self.dir.owner_moved_to_rac(v.line, n as NodeId);
-                    } else if let Some(rv) = rac.insert(v.line, true) {
-                        self.dir.owner_moved_to_rac(v.line, n as NodeId);
-                        if rv.dirty {
-                            self.writeback(n, rv.line);
+                let parkable = victim_home != n as NodeId;
+                match self.nodes[n].rac.as_mut() {
+                    Some(rac) if parkable => {
+                        // Park the dirty victim in the RAC; a full RAC set
+                        // first writes back its own dirty victim.
+                        let displaced = if rac.mark_dirty(v.line) {
+                            None
+                        } else {
+                            rac.insert(v.line, true)
+                        };
+                        let parked = self.dir.owner_moved_to_rac(v.line, n as NodeId);
+                        debug_assert!(parked.is_ok(), "illegal RAC park: {parked:?}");
+                        if let Some(sz) = self.sanitizer.as_deref_mut() {
+                            sz.on_rac_park(&self.dir, v.line, n as NodeId, parked);
                         }
-                    } else {
-                        self.dir.owner_moved_to_rac(v.line, n as NodeId);
+                        if let Some(rv) = displaced {
+                            if rv.dirty {
+                                self.writeback(n, rv.line);
+                            }
+                        }
                     }
-                } else {
-                    self.writeback(n, v.line);
+                    _ => self.writeback(n, v.line),
                 }
             }
         }
@@ -718,7 +790,7 @@ impl<S: ReferenceStream> Simulation<S> {
 
     /// Install a clean copy of a freshly fetched remote line into the RAC.
     fn rac_fill(&mut self, n: usize, line: u64) {
-        let rac = self.nodes[n].rac.as_mut().expect("caller checked rac");
+        let Some(rac) = self.nodes[n].rac.as_mut() else { return };
         if rac.contains(line) {
             return;
         }
@@ -1404,6 +1476,42 @@ mod tests {
         bare.warm_up(200);
         wired.warm_up(200);
         assert_eq!(bare.run(1_000), wired.run(1_000));
+    }
+
+    #[test]
+    fn sanitizer_on_is_bit_identical_to_off() {
+        let cfg = rac_cfg();
+        let streams = || {
+            vec![
+                SliceStream::cycle(&[store(addr_homed(1, 0, 2)), load(addr_homed(0, 4, 2))]),
+                SliceStream::cycle(&[load(addr_homed(1, 0, 2)), store(addr_homed(0, 7, 2))]),
+            ]
+        };
+        let mut bare = Simulation::new(&cfg, streams());
+        let mut sane = Simulation::new(&cfg, streams()).with_sanitizer();
+        bare.warm_up(200);
+        sane.warm_up(200);
+        assert_eq!(bare.run(1_000), sane.run(1_000));
+        sane.verify_sanitizer().expect("clean run cross-checks clean");
+        assert!(sane.sanitizer_checks().is_some_and(|c| c > 0), "the sanitizer actually ran");
+        assert_eq!(bare.sanitizer_checks(), None);
+    }
+
+    #[test]
+    fn sanitizer_vouches_for_a_full_oltp_run() {
+        let mut b = SystemConfig::builder();
+        b.nodes(2)
+            .integration(IntegrationLevel::FullyIntegrated)
+            .l2_sram(256 << 10, 4)
+            .rac(csim_config::RacConfig::paper());
+        let cfg = b.build().unwrap();
+        let mut sim =
+            Simulation::with_oltp(&cfg, OltpParams::default()).unwrap().with_sanitizer();
+        let rep = sim.run_verified(30_000, 5_000).expect("coherent and spec-conformant");
+        assert!(rep.refs_per_node == 30_000);
+        // An OLTP run on a small L2 exercises every transition kind the
+        // sanitizer hooks: misses, upgrades, writebacks, RAC parking.
+        assert!(sim.sanitizer_checks().is_some_and(|c| c > 1_000), "{:?}", sim.sanitizer_checks());
     }
 
     #[test]

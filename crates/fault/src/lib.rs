@@ -27,6 +27,8 @@
 //! [`FaultPlan::from_toml_str`]); `examples/fault_storm.toml` in the
 //! workspace root is a complete annotated example.
 
+#![forbid(unsafe_code)]
+
 mod inject;
 mod plan;
 mod toml;

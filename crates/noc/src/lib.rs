@@ -34,6 +34,8 @@
 //! assert!((derived.remote_dirty as i64 - 200).abs() <= 30);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod contention;
 mod derive;
 mod router;

@@ -45,6 +45,8 @@
 //! assert!(h.quantile(0.999) >= 250);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod class;
 mod event;
 mod hist;

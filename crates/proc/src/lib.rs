@@ -31,6 +31,8 @@
 //! assert_eq!(bd.total_cycles(), 26.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod breakdown;
 mod timing;
 

@@ -25,6 +25,8 @@
 //! println!("{}", norm.render(50));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod chart;
 mod line;
 pub mod svg;

@@ -24,6 +24,8 @@
 //! assert_eq!(r.line_addr(64), 0x1000 / 64);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod addr;
 mod codec;
 mod mem_ref;

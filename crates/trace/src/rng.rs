@@ -69,8 +69,8 @@ impl SimRng {
     /// draw from validated, non-empty parameter ranges).
     #[inline]
     pub fn gen_range(&mut self, range: Range<u64>) -> u64 {
-        let span = range.end.checked_sub(range.start).expect("gen_range: end < start");
-        assert!(span > 0, "gen_range: empty range");
+        assert!(range.start < range.end, "gen_range: empty or inverted range");
+        let span = range.end - range.start;
         range.start + self.bounded(span)
     }
 

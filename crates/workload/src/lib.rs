@@ -36,6 +36,8 @@
 //! # Ok::<(), csim_workload::ParamsError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod code;
 mod layout;
 mod params;

@@ -21,6 +21,9 @@
 //!   --fault-seed N       fault-injection seed (default 0, independent
 //!                        of the workload seed)
 //!   --strict N           re-verify coherence every N refs/node
+//!   --sanitize           cross-check every directory transition against
+//!                        the executable protocol spec (csim-check); the
+//!                        report stays bit-identical to a run without it
 //!
 //! observability (all off by default; see crates/obs):
 //!   --histograms         per-class latency histograms: quantile table on
@@ -64,6 +67,7 @@ struct Args {
     fault_plan: Option<String>,
     fault_seed: u64,
     strict: Option<u64>,
+    sanitize: bool,
     histograms: bool,
     epoch: Option<u64>,
     trace_out: Option<String>,
@@ -94,6 +98,7 @@ impl Default for Args {
             fault_plan: None,
             fault_seed: 0,
             strict: None,
+            sanitize: false,
             histograms: false,
             epoch: None,
             trace_out: None,
@@ -175,6 +180,7 @@ fn parse_args() -> Result<Args, String> {
             "--strict" => {
                 args.strict = Some(value("--strict")?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--sanitize" => args.sanitize = true,
             "--histograms" => args.histograms = true,
             "--epoch" => {
                 let n: u64 = value("--epoch")?.parse().map_err(|e| format!("{e}"))?;
@@ -376,20 +382,33 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         );
         sim.set_fault_injector(FaultInjector::new(plan, args.fault_seed)?);
     }
+    if args.sanitize {
+        // Before warm-up: the shadow directory must see every transition
+        // from reset to vouch for the run.
+        sim.set_sanitize(true);
+    }
     profile.time("warmup", || sim.warm_up(args.warm));
     let rep = match args.strict {
         Some(every) => profile.time("measure", || sim.run_verified(args.meas, every))?,
         None => profile.time("measure", || sim.run(args.meas)),
     };
+    if args.sanitize {
+        sim.verify_sanitizer()?;
+        if let Some(checks) = sim.sanitizer_checks() {
+            eprintln!("sanitizer: {checks} directory transitions cross-checked, no divergence");
+        }
+    }
 
     if let Some(path) = &args.trace_out {
         let jsonl = sim.observer().trace_jsonl();
         std::fs::write(path, &jsonl)
             .map_err(|e| format!("cannot write trace '{path}': {e}"))?;
+        // lint: allow(no-panic) — the observer was configured from this same flag a few lines up
         let ring = sim.observer().events().expect("--trace-out enables tracing");
         eprintln!("trace: {path} ({} events, {} dropped)", ring.len(), ring.dropped());
     }
     if let Some(path) = &args.epoch_svg {
+        // lint: allow(no-panic) — the observer was configured from this same flag a few lines up
         let epoch_len = sim.observer().epoch_len().expect("--epoch-svg requires --epoch");
         let chart = epoch_chart(sim.observer().epoch_samples(), epoch_len);
         svg::write_lines_file(&chart, path)
@@ -465,6 +484,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "class", "count", "min", "mean", "p50", "p90", "p99", "p999", "max",
         ]);
         for class in MissClass::ALL {
+            // lint: allow(no-panic) — the observer was configured from this same flag a few lines up
             let h = sim.observer().histogram(class).expect("--histograms enables histograms");
             if h.count() == 0 {
                 continue;

@@ -43,7 +43,10 @@
 //! `crates/bench/benches/` for the harnesses that regenerate every table
 //! and figure of the paper's evaluation.
 
+#![forbid(unsafe_code)]
+
 pub use csim_cache as cache;
+pub use csim_check as check;
 pub use csim_coherence as coherence;
 pub use csim_config as config;
 pub use csim_core as sim;
@@ -57,6 +60,7 @@ pub use csim_workload as workload;
 
 /// The most commonly used types, importable with one line.
 pub mod prelude {
+    pub use csim_check::{explore, CheckConfig, CheckReport, Sanitizer, SanitizerError};
     pub use csim_config::{
         CacheGeometry, IntegrationLevel, L2Kind, LatencyTable, OooParams, ProcessorModel,
         RacConfig, SystemConfig,
