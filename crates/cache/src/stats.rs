@@ -50,25 +50,22 @@ impl CacheStats {
         self.invalidations += other.invalidations;
     }
 
+    // The write/dirty sub-counters add the flag unconditionally: on the
+    // per-reference path an unpredictable data-dependent branch costs more
+    // than the add it would skip, and the counters are identical.
     pub(crate) fn record_hit(&mut self, write: bool) {
         self.hits += 1;
-        if write {
-            self.write_hits += 1;
-        }
+        self.write_hits += u64::from(write);
     }
 
     pub(crate) fn record_miss(&mut self, write: bool) {
         self.misses += 1;
-        if write {
-            self.write_misses += 1;
-        }
+        self.write_misses += u64::from(write);
     }
 
     pub(crate) fn record_eviction(&mut self, dirty: bool) {
         self.evictions += 1;
-        if dirty {
-            self.dirty_evictions += 1;
-        }
+        self.dirty_evictions += u64::from(dirty);
     }
 
     pub(crate) fn record_invalidation(&mut self) {

@@ -169,7 +169,10 @@ pub fn strip_noncode(source: &str) -> String {
                 i += 1;
                 while i < bytes.len() {
                     if bytes[i] == b'\\' && i + 1 < bytes.len() {
-                        out.extend_from_slice(b"  ");
+                        // A `\` line continuation escapes a literal
+                        // newline; keep it so line numbers stay aligned.
+                        out.push(b' ');
+                        out.push(blank(bytes[i + 1]));
                         i += 2;
                     } else if bytes[i] == b'"' {
                         out.push(b' ');
@@ -499,6 +502,19 @@ mod tests {
         assert!(!out.contains("unwrap"));
         assert!(out.contains("&'a str"), "lifetimes survive: {out}");
         assert_eq!(out.len(), src.len());
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers_aligned() {
+        // A `\`-escaped newline inside a string must survive stripping,
+        // or every later finding/escape lands on the wrong line.
+        let src = "let s = \"first \\\n    second\";\n// lint: allow(no-panic) — exercised in a test\nlet g = geo.expect(\"checked\");\n";
+        let stripped = strip_noncode(src);
+        assert_eq!(stripped.lines().count(), src.lines().count());
+        let (findings, escapes) = lint_file("crates/config/src/system.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(escapes.len(), 1);
+        assert_eq!(escapes[0].line, 4);
     }
 
     #[test]

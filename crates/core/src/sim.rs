@@ -26,7 +26,18 @@ struct Core {
     l1d: Cache,
     timing: Timing,
     bd: ExecBreakdown,
+    /// The line of the most recent instruction fetch, valid only while it
+    /// is still resident at the MRU position of its L1I set (every L1I
+    /// mutation either retargets or clears it). Straight-line code fetches
+    /// the same line many times in a row, so this memo resolves the common
+    /// fetch with one compare instead of a set probe; see
+    /// [`Cache::record_repeat_read_hit`] for why the outcome is identical.
+    last_ifetch_line: u64,
 }
+
+/// `last_ifetch_line` value meaning "no memoized fetch": larger than any
+/// line index (addresses are 46-bit, lines 40-bit).
+const NO_IFETCH_MEMO: u64 = u64::MAX;
 
 /// Per-node (per-chip) simulation state: the cores, the shared L2/RAC,
 /// and miss counters. With `cores_per_node = 1` this is exactly the
@@ -51,7 +62,9 @@ pub struct Simulation<S = NodeWorkload> {
     summary: String,
     latencies: LatencyTable,
     replicate_instructions: bool,
-    cores_per_node: usize,
+    /// Stream index → (node, core), precomputed so the per-reference loop
+    /// in [`Simulation::advance`] avoids a 64-bit div/mod pair per access.
+    placement: Vec<(u32, u32)>,
     nodes: Vec<Node>,
     streams: Vec<S>,
     dir: Directory,
@@ -61,6 +74,11 @@ pub struct Simulation<S = NodeWorkload> {
     injector: Option<FaultInjector>,
     observer: Observer,
     sanitizer: Option<Box<Sanitizer>>,
+    /// True for single-node machines. In a uniprocessor no remote read
+    /// can ever downgrade (clean) an L2 line, so "dirty in the L1" proves
+    /// "dirty in the L2" and a store that hits an already-dirty L1 line
+    /// skips the ownership walk — see [`Simulation::access`].
+    uni: bool,
 }
 
 impl Simulation<NodeWorkload> {
@@ -119,6 +137,7 @@ impl<S: ReferenceStream> Simulation<S> {
                         l1d: Cache::new(cfg.l1d()),
                         timing: Timing::for_model(cfg.processor()),
                         bd: ExecBreakdown::default(),
+                        last_ifetch_line: NO_IFETCH_MEMO,
                     })
                     .collect(),
                 l2: Cache::new(cfg.l2().geometry),
@@ -128,11 +147,15 @@ impl<S: ReferenceStream> Simulation<S> {
                 upgrades: 0,
             })
             .collect();
+        let cores_per_node = cfg.cores_per_node();
+        let placement = (0..streams.len())
+            .map(|s| ((s / cores_per_node) as u32, (s % cores_per_node) as u32))
+            .collect();
         Ok(Simulation {
             summary: cfg.summary(),
             latencies: cfg.latencies(),
             replicate_instructions: cfg.replicate_instructions(),
-            cores_per_node: cfg.cores_per_node(),
+            placement,
             nodes,
             streams,
             dir: Directory::new(cfg.n_nodes() as u8, LINE_SIZE, PAGE_SIZE),
@@ -142,6 +165,7 @@ impl<S: ReferenceStream> Simulation<S> {
             injector: None,
             observer: Observer::disabled(),
             sanitizer: None,
+            uni: cfg.n_nodes() == 1,
         })
     }
 
@@ -302,18 +326,32 @@ impl<S: ReferenceStream> Simulation<S> {
     }
 
     fn advance(&mut self, refs_per_node: u64) {
-        let epoch = self.observer.epoch_len();
-        for _ in 0..refs_per_node {
-            for s in 0..self.streams.len() {
-                let r = self.streams[s].next_ref();
-                self.access(s / self.cores_per_node, s % self.cores_per_node, r);
+        // The epoch check is hoisted into two loop bodies so the common
+        // no-epochs configuration never tests it per round.
+        match self.observer.epoch_len() {
+            None => {
+                for _ in 0..refs_per_node {
+                    for s in 0..self.streams.len() {
+                        let r = self.streams[s].next_ref();
+                        let (n, c) = self.placement[s];
+                        self.access(n as usize, c as usize, r);
+                    }
+                    // `refs_run` doubles as the fault model's logical
+                    // clock, so it advances per round, not per batch.
+                    self.refs_run += 1;
+                }
             }
-            // `refs_run` doubles as the fault model's logical clock, so
-            // it advances per round, not per batch.
-            self.refs_run += 1;
-            if let Some(e) = epoch {
-                if self.refs_run.is_multiple_of(e) {
-                    self.close_epoch();
+            Some(e) => {
+                for _ in 0..refs_per_node {
+                    for s in 0..self.streams.len() {
+                        let r = self.streams[s].next_ref();
+                        let (n, c) = self.placement[s];
+                        self.access(n as usize, c as usize, r);
+                    }
+                    self.refs_run += 1;
+                    if self.refs_run.is_multiple_of(e) {
+                        self.close_epoch();
+                    }
                 }
             }
         }
@@ -509,19 +547,36 @@ impl<S: ReferenceStream> Simulation<S> {
         let is_ifetch = r.access.is_instruction();
         let write = r.access.is_write();
 
-        if is_ifetch {
+        // Retire + L1 probe share one bounds-checked core borrow: this
+        // runs once per reference, so the double index was measurable.
+        let (l1_hit, owned) = {
             let core = &mut self.nodes[n].cores[c];
-            core.timing.retire_instruction(&mut core.bd);
-        }
-
-        // L1.
-        let l1_hit = {
-            let core = &mut self.nodes[n].cores[c];
+            if is_ifetch {
+                core.timing.retire_instruction(&mut core.bd);
+                // Consecutive fetches of one line resolve on the memo;
+                // see the `last_ifetch_line` field docs.
+                if line == core.last_ifetch_line {
+                    core.l1i.record_repeat_read_hit();
+                    return;
+                }
+            }
             let l1 = if is_ifetch { &mut core.l1i } else { &mut core.l1d };
-            l1.access(line, write).is_hit()
+            // Uniprocessor stores that hit an already-dirty L1 line need
+            // no ownership walk: nothing in a single-node machine ever
+            // cleans an L2 line (downgrades require a remote reader), so
+            // L1-dirty proves L2-dirty and `ensure_ownership` would
+            // return immediately — at the price of a probe into the much
+            // larger L2 slot array. The extra L1 `is_dirty` read touches
+            // no LRU or statistics state.
+            let owned = write && self.uni && l1.is_dirty(line);
+            let hit = l1.access(line, write).is_hit();
+            if is_ifetch && hit {
+                core.last_ifetch_line = line;
+            }
+            (hit, owned)
         };
         if l1_hit {
-            if write {
+            if write && !owned {
                 self.ensure_ownership(n, c, line);
             }
             return;
@@ -549,6 +604,9 @@ impl<S: ReferenceStream> Simulation<S> {
             core.timing.stall(StallClass::L2Hit, latency, &mut core.bd);
             let l1 = if is_ifetch { &mut core.l1i } else { &mut core.l1d };
             let _ = l1.insert(line, write);
+            if is_ifetch {
+                core.last_ifetch_line = line;
+            }
             return;
         }
 
@@ -755,6 +813,9 @@ impl<S: ReferenceStream> Simulation<S> {
             for core in &mut self.nodes[n].cores {
                 core.l1i.invalidate(v.line);
                 core.l1d.invalidate(v.line);
+                if core.last_ifetch_line == v.line {
+                    core.last_ifetch_line = NO_IFETCH_MEMO;
+                }
             }
             if v.dirty {
                 let victim_home = self.dir.home(v.line);
@@ -786,6 +847,9 @@ impl<S: ReferenceStream> Simulation<S> {
         let core = &mut self.nodes[n].cores[c];
         let l1 = if is_ifetch { &mut core.l1i } else { &mut core.l1d };
         let _ = l1.insert(line, write);
+        if is_ifetch {
+            core.last_ifetch_line = line;
+        }
     }
 
     /// Install a clean copy of a freshly fetched remote line into the RAC.
@@ -913,6 +977,9 @@ impl<S: ReferenceStream> Simulation<S> {
         for core in &mut node.cores {
             core.l1i.invalidate(line);
             core.l1d.invalidate(line);
+            if core.last_ifetch_line == line {
+                core.last_ifetch_line = NO_IFETCH_MEMO;
+            }
         }
         node.l2.invalidate(line);
         if let Some(rac) = &mut node.rac {

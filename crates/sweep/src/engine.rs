@@ -1,0 +1,261 @@
+//! The deterministic parallel execution engine.
+//!
+//! Grid points are fully independent simulations — no shared mutable
+//! state, seeds fixed at plan-load time — so parallelism is a pure
+//! scheduling concern. Workers pull `(index, spec)` jobs from a shared
+//! queue and park each result in its index slot; the merged report is
+//! assembled in index order afterwards. The worker count therefore
+//! affects wall-clock time only: `run_sweep(plan, 1)` and
+//! `run_sweep(plan, 8)` produce byte-identical reports (a contract
+//! enforced by `tests/sweep_identity.rs`).
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use csim_core::{run_report_json, SimReport, Simulation};
+use csim_obs::json::Json;
+use csim_obs::{version_string, RunManifest};
+use csim_workload::OltpParams;
+
+use crate::grid::RunSpec;
+use crate::plan::{integration_short_name, SweepError, SweepPlan};
+
+/// Schema tag written into every merged sweep report, bumped on breaking
+/// layout changes so downstream readers can dispatch.
+pub const SWEEP_REPORT_SCHEMA: &str = "csim-sweep-report/v1";
+
+/// The result of one grid point.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The grid point that was run.
+    pub spec: RunSpec,
+    /// Its simulation counters.
+    pub report: SimReport,
+    /// Its full `csim-run-report/v1` document (no profile section, so
+    /// the bytes are deterministic).
+    pub doc: Json,
+}
+
+/// A completed sweep: the plan and one outcome per grid point, in grid
+/// order.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// The plan that was swept.
+    pub plan: SweepPlan,
+    /// One outcome per grid point, in [`SweepPlan::expand`] order.
+    pub runs: Vec<RunOutcome>,
+}
+
+impl SweepOutcome {
+    /// The merged `csim-sweep-report/v1` document. Deliberately echoes
+    /// the plan but *not* the worker count: the report must be
+    /// byte-identical whatever parallelism produced it.
+    pub fn to_json(&self) -> Json {
+        let plan = &self.plan;
+        let strs = |it: Vec<String>| Json::Arr(it.into_iter().map(Json::Str).collect());
+        let plan_doc = Json::obj([
+            ("name", Json::str(&plan.name)),
+            ("warm_refs_per_node", Json::UInt(plan.warm)),
+            ("meas_refs_per_node", Json::UInt(plan.meas)),
+            ("l2_dram", Json::Bool(plan.dram)),
+            ("rac", Json::Bool(plan.rac)),
+            ("replicate_instructions", Json::Bool(plan.replicate)),
+            ("out_of_order", Json::Bool(plan.ooo)),
+            (
+                "integration",
+                strs(plan
+                    .integration
+                    .iter()
+                    .map(|&l| integration_short_name(l).to_string())
+                    .collect()),
+            ),
+            ("l2", strs(plan.l2.iter().map(|s| s.label.clone()).collect())),
+            ("nodes", Json::Arr(plan.nodes.iter().map(|&n| Json::UInt(n as u64)).collect())),
+            ("cores", Json::Arr(plan.cores.iter().map(|&c| Json::UInt(c as u64)).collect())),
+            ("seeds", Json::Arr(plan.seeds.iter().map(|&s| Json::UInt(s)).collect())),
+            ("run_count", Json::UInt(self.runs.len() as u64)),
+        ]);
+        let runs = self
+            .runs
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("label", Json::str(r.spec.label())),
+                    ("seed", Json::UInt(r.spec.seed)),
+                    ("run", r.doc.clone()),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::str(SWEEP_REPORT_SCHEMA)),
+            ("plan", plan_doc),
+            ("runs", Json::Arr(runs)),
+        ])
+    }
+}
+
+/// A poisoned sweep mutex only means another worker failed while holding
+/// it; the protected data (an index queue / result slots) is still
+/// consistent, so recover the guard instead of propagating a panic.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Executes one grid point: build the configuration, build the workload,
+/// warm up, measure, and export the per-run report document.
+fn execute(spec: &RunSpec) -> Result<RunOutcome, SweepError> {
+    let cfg = spec.build_config()?;
+    let params = OltpParams { seed: spec.seed, ..OltpParams::default() };
+    let mut sim = Simulation::with_oltp(&cfg, params)
+        .map_err(|e| SweepError::Run { label: spec.label(), message: e.to_string() })?;
+    sim.warm_up(spec.warm);
+    let report = sim.run(spec.meas);
+    let manifest = RunManifest {
+        tool: "csim-sweep".to_string(),
+        version: version_string(env!("CARGO_PKG_VERSION")),
+        config_summary: cfg.summary(),
+        config: vec![
+            ("label".to_string(), spec.label()),
+            ("nodes".to_string(), spec.nodes.to_string()),
+            ("cores_per_node".to_string(), spec.cores.to_string()),
+            ("integration".to_string(), format!("{:?}", spec.integration)),
+            ("l2_bytes".to_string(), spec.l2_bytes.to_string()),
+            ("l2_assoc".to_string(), spec.l2_assoc.to_string()),
+            ("l2_dram".to_string(), spec.dram.to_string()),
+            ("rac".to_string(), spec.rac.to_string()),
+            ("replicate_instructions".to_string(), spec.replicate.to_string()),
+            ("out_of_order".to_string(), spec.ooo.to_string()),
+            ("warm_refs_per_node".to_string(), spec.warm.to_string()),
+            ("meas_refs_per_node".to_string(), spec.meas.to_string()),
+        ],
+        seeds: vec![("workload".to_string(), spec.seed)],
+    };
+    // `profile: None` keeps the per-run document wall-clock-free and
+    // therefore byte-stable.
+    let doc = run_report_json(&report, sim.observer(), &manifest, None);
+    Ok(RunOutcome { spec: spec.clone(), report, doc })
+}
+
+/// Runs every grid point of the plan on `jobs` workers and merges the
+/// outcomes in grid order.
+///
+/// `jobs == 1` executes serially on the calling thread (no pool, no
+/// locking); `jobs > 1` uses `std::thread::scope` workers over a shared
+/// job queue. Both paths return identical results — parallelism never
+/// leaks into the output.
+///
+/// # Errors
+///
+/// [`SweepError::Run`] for the lowest-index grid point that failed;
+/// remaining runs may or may not have executed.
+pub fn run_sweep(plan: &SweepPlan, jobs: usize) -> Result<SweepOutcome, SweepError> {
+    plan.validate()?;
+    let specs = plan.expand();
+    let results = if jobs <= 1 || specs.len() <= 1 {
+        let mut results = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            results.push(Some(execute(spec)));
+        }
+        results
+    } else {
+        let queue: Mutex<VecDeque<(usize, &RunSpec)>> =
+            Mutex::new(specs.iter().enumerate().collect());
+        let slots: Mutex<Vec<Option<Result<RunOutcome, SweepError>>>> =
+            Mutex::new((0..specs.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(specs.len()) {
+                scope.spawn(|| loop {
+                    let job = lock(&queue).pop_front();
+                    let Some((idx, spec)) = job else { break };
+                    let outcome = execute(spec);
+                    lock(&slots)[idx] = Some(outcome);
+                });
+            }
+        });
+        slots.into_inner().unwrap_or_else(PoisonError::into_inner)
+    };
+    let mut runs = Vec::with_capacity(specs.len());
+    for (spec, slot) in specs.iter().zip(results) {
+        let outcome = slot.ok_or_else(|| SweepError::Run {
+            label: spec.label(),
+            message: "worker exited without recording a result".to_string(),
+        })??;
+        runs.push(outcome);
+    }
+    Ok(SweepOutcome { plan: plan.clone(), runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csim_config::IntegrationLevel;
+
+    fn small_plan() -> SweepPlan {
+        SweepPlan {
+            name: "engine-test".to_string(),
+            warm: 2_000,
+            meas: 3_000,
+            integration: vec![IntegrationLevel::Base, IntegrationLevel::L2Integrated],
+            seeds: vec![42, 43],
+            ..SweepPlan::default()
+        }
+    }
+
+    #[test]
+    fn serial_sweep_runs_every_grid_point_in_order() {
+        let plan = small_plan();
+        let out = run_sweep(&plan, 1).unwrap();
+        assert_eq!(out.runs.len(), 4);
+        let labels: Vec<String> = out.runs.iter().map(|r| r.spec.label()).collect();
+        assert_eq!(
+            labels,
+            ["base/8M1w/1n1c/s0", "base/8M1w/1n1c/s1", "l2/2M8w/1n1c/s0", "l2/2M8w/1n1c/s1"]
+        );
+        for r in &out.runs {
+            assert!(r.report.breakdown.instructions > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_report_is_byte_identical_to_serial() {
+        let plan = small_plan();
+        let serial = run_sweep(&plan, 1).unwrap().to_json().to_string();
+        let parallel = run_sweep(&plan, 4).unwrap().to_json().to_string();
+        assert_eq!(serial, parallel);
+        assert!(serial.contains("\"schema\":\"csim-sweep-report/v1\""));
+        assert!(serial.contains("csim-run-report/v1"));
+        assert!(!serial.contains("jobs"), "worker count must not leak into the report");
+        csim_obs::json::validate(&serial).unwrap();
+    }
+
+    #[test]
+    fn oversubscribed_pools_are_harmless() {
+        let mut plan = small_plan();
+        plan.integration = vec![IntegrationLevel::Base];
+        plan.seeds = vec![7];
+        let out = run_sweep(&plan, 64).unwrap();
+        assert_eq!(out.runs.len(), 1);
+    }
+
+    #[test]
+    fn failing_grid_points_surface_the_lowest_index_error() {
+        let mut plan = small_plan();
+        // A 64 MB on-chip SRAM L2 cannot build at the l2 level; the base
+        // (off-chip) runs are fine.
+        plan.l2 = vec![crate::plan::L2Spec::parse("64M8w").unwrap()];
+        let err = run_sweep(&plan, 2).unwrap_err();
+        assert!(matches!(err, SweepError::Run { .. }), "{err}");
+        assert!(err.to_string().contains("l2/64M8w"), "{err}");
+    }
+
+    #[test]
+    fn distinct_seeds_produce_distinct_reports() {
+        let plan = small_plan();
+        let out = run_sweep(&plan, 2).unwrap();
+        assert_ne!(
+            out.runs[0].report.breakdown.busy_cycles,
+            out.runs[1].report.breakdown.busy_cycles,
+            "different seeds should not produce identical cycle counts"
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Grid expansion: a [`SweepPlan`] becomes an ordered list of
+//! [`RunSpec`]s, one per grid point.
+
+use csim_config::{IntegrationLevel, OooParams, RacConfig, SystemConfig};
+
+use crate::plan::{integration_short_name, L2Spec, SweepError, SweepPlan};
+
+/// One fully-resolved grid point: everything needed to build and run a
+/// single simulation, independent of every other run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunSpec {
+    /// Integration level of this run.
+    pub integration: IntegrationLevel,
+    /// L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_assoc: u32,
+    /// The `2M8w`-style spec string, used in the run label.
+    pub l2_label: String,
+    /// Processor chips.
+    pub nodes: usize,
+    /// Cores per chip.
+    pub cores: usize,
+    /// Position of this run's seed on the plan's seed axis.
+    pub seed_index: usize,
+    /// The workload seed itself.
+    pub seed: u64,
+    /// Embedded-DRAM timing for on-chip L2s.
+    pub dram: bool,
+    /// Remote access cache.
+    pub rac: bool,
+    /// OS instruction-page replication.
+    pub replicate: bool,
+    /// Out-of-order cores.
+    pub ooo: bool,
+    /// Warm-up references per node.
+    pub warm: u64,
+    /// Measured references per node.
+    pub meas: u64,
+}
+
+impl RunSpec {
+    /// The run's stable label, e.g. `l2/2M8w/8n1c/s0`: integration
+    /// level, L2 geometry, topology, and position on the seed axis.
+    /// Labels are unique within a plan and independent of worker count
+    /// or execution order.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}n{}c/s{}",
+            integration_short_name(self.integration),
+            self.l2_label,
+            self.nodes,
+            self.cores,
+            self.seed_index
+        )
+    }
+
+    /// Builds the [`SystemConfig`] for this grid point — the same
+    /// mapping the `csim` front end applies to its flags.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Run`] when the configuration is rejected (e.g. an
+    /// on-chip L2 too large for the die).
+    pub fn build_config(&self) -> Result<SystemConfig, SweepError> {
+        let mut b = SystemConfig::builder();
+        b.nodes(self.nodes)
+            .cores_per_node(self.cores)
+            .integration(self.integration)
+            .replicate_instructions(self.replicate);
+        if self.integration.l2_on_chip() {
+            if self.dram {
+                b.l2_dram(self.l2_bytes, self.l2_assoc);
+            } else {
+                b.l2_sram(self.l2_bytes, self.l2_assoc);
+            }
+        } else {
+            b.l2_off_chip(self.l2_bytes, self.l2_assoc);
+        }
+        if self.rac {
+            b.rac(RacConfig::paper());
+        }
+        if self.ooo {
+            b.out_of_order(OooParams::paper());
+        }
+        b.build().map_err(|e| SweepError::Run { label: self.label(), message: e.to_string() })
+    }
+}
+
+/// The default L2 geometry of an integration level when the plan leaves
+/// the `l2` axis empty: the paper's 8M1w off-chip, 2M8w on-chip (the
+/// rule `csim` applies when `--l2` is not given).
+fn default_l2(level: IntegrationLevel) -> L2Spec {
+    if level.l2_on_chip() {
+        L2Spec { bytes: 2 << 20, assoc: 8, label: "2M8w".to_string() }
+    } else {
+        L2Spec { bytes: 8 << 20, assoc: 1, label: "8M1w".to_string() }
+    }
+}
+
+impl SweepPlan {
+    /// Expands the grid into its ordered run list. The order is the
+    /// nesting of the axes — integration, L2, nodes, cores, seeds — and
+    /// is part of the report contract: run `i` of the merged report is
+    /// always the same grid point, however many workers executed it.
+    pub fn expand(&self) -> Vec<RunSpec> {
+        let mut runs = Vec::with_capacity(self.run_count());
+        for &integration in &self.integration {
+            let geometries: Vec<L2Spec> = if self.l2.is_empty() {
+                vec![default_l2(integration)]
+            } else {
+                self.l2.clone()
+            };
+            for l2 in &geometries {
+                for &nodes in &self.nodes {
+                    for &cores in &self.cores {
+                        for (seed_index, &seed) in self.seeds.iter().enumerate() {
+                            runs.push(RunSpec {
+                                integration,
+                                l2_bytes: l2.bytes,
+                                l2_assoc: l2.assoc,
+                                l2_label: l2.label.clone(),
+                                nodes,
+                                cores,
+                                seed_index,
+                                seed,
+                                dram: self.dram,
+                                rac: self.rac,
+                                replicate: self.replicate,
+                                ooo: self.ooo,
+                                warm: self.warm,
+                                meas: self.meas,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    // The grid-size product keeps one factor per axis, 1s included.
+    #[allow(clippy::identity_op)]
+    fn expansion_order_is_the_axis_nesting() {
+        let plan = SweepPlan {
+            integration: vec![IntegrationLevel::Base, IntegrationLevel::L2Integrated],
+            l2: vec![L2Spec::parse("2M1w").unwrap(), L2Spec::parse("2M8w").unwrap()],
+            nodes: vec![1, 8],
+            seeds: vec![42, 43],
+            ..SweepPlan::default()
+        };
+        let runs = plan.expand();
+        assert_eq!(runs.len(), plan.run_count());
+        assert_eq!(runs.len(), 2 * 2 * 2 * 1 * 2);
+        assert_eq!(runs[0].label(), "base/2M1w/1n1c/s0");
+        assert_eq!(runs[1].label(), "base/2M1w/1n1c/s1");
+        assert_eq!(runs[2].label(), "base/2M1w/8n1c/s0");
+        assert_eq!(runs[4].label(), "base/2M8w/1n1c/s0");
+        assert_eq!(runs[8].label(), "l2/2M1w/1n1c/s0");
+        assert_eq!(runs[15].label(), "l2/2M8w/8n1c/s1");
+        assert_eq!(runs[1].seed, 43);
+    }
+
+    #[test]
+    fn empty_l2_axis_uses_the_per_level_default() {
+        let plan = SweepPlan {
+            integration: vec![IntegrationLevel::Base, IntegrationLevel::FullyIntegrated],
+            ..SweepPlan::default()
+        };
+        let runs = plan.expand();
+        assert_eq!(runs.len(), 2);
+        assert_eq!((runs[0].l2_bytes, runs[0].l2_assoc), (8 << 20, 1));
+        assert_eq!((runs[1].l2_bytes, runs[1].l2_assoc), (2 << 20, 8));
+        assert_eq!(runs[1].label(), "all/2M8w/1n1c/s0");
+    }
+
+    #[test]
+    fn specs_build_valid_configs() {
+        let plan = SweepPlan {
+            integration: vec![IntegrationLevel::Base, IntegrationLevel::L2Integrated],
+            // A RAC only exists in multiprocessors, so this grid stays
+            // multi-node throughout.
+            nodes: vec![2, 4],
+            rac: true,
+            ooo: true,
+            ..SweepPlan::default()
+        };
+        for spec in plan.expand() {
+            let cfg = spec.build_config().unwrap();
+            assert_eq!(cfg.integration(), spec.integration);
+            assert_eq!(cfg.cores_per_node(), spec.cores);
+        }
+    }
+
+    #[test]
+    fn impossible_configs_surface_as_run_errors() {
+        // A 64 MB on-chip SRAM L2 exceeds the die budget.
+        let spec = RunSpec {
+            integration: IntegrationLevel::FullyIntegrated,
+            l2_bytes: 64 << 20,
+            l2_assoc: 8,
+            l2_label: "64M8w".to_string(),
+            nodes: 1,
+            cores: 1,
+            seed_index: 0,
+            seed: 1,
+            dram: false,
+            rac: false,
+            replicate: false,
+            ooo: false,
+            warm: 0,
+            meas: 1,
+        };
+        let err = spec.build_config().unwrap_err();
+        assert!(matches!(err, SweepError::Run { .. }), "{err}");
+        assert!(err.to_string().contains("all/64M8w/1n1c/s0"), "{err}");
+    }
+}

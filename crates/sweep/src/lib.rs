@@ -1,0 +1,53 @@
+//! Deterministic parallel sweep engine.
+//!
+//! Paper-style evaluations are grids: integration levels × cache
+//! geometries × node counts × seeds, every point an independent
+//! simulation. This crate makes the grid declarative and its execution
+//! embarrassingly parallel *without giving up bit-identity*:
+//!
+//! * [`SweepPlan`] — the grid, loaded from a small TOML dialect
+//!   ([`SweepPlan::from_toml_str`]) or built in code. Seeds are fixed at
+//!   load time ([`derive_seeds`]), never drawn during execution.
+//! * [`RunSpec`] — one fully-resolved grid point, expanded in a
+//!   documented deterministic order ([`SweepPlan::expand`]).
+//! * [`run_sweep`] — executes the grid on `jobs` scoped worker threads
+//!   pulling from a shared queue; results are merged by grid index. The
+//!   merged [`SweepOutcome::to_json`] report is byte-identical for any
+//!   worker count (enforced by `tests/sweep_identity.rs`).
+//!
+//! The `csim --sweep plan.toml --jobs N` front end drives this crate;
+//! `examples/fig09_sweep.toml` shows the dialect.
+//!
+//! # Example
+//!
+//! ```
+//! use csim_sweep::{run_sweep, SweepPlan};
+//!
+//! let plan = SweepPlan::from_toml_str(r#"
+//!     [sweep]
+//!     name = "smoke"
+//!     warm = 1000
+//!     meas = 1000
+//!
+//!     [grid]
+//!     integration = ["base", "l2"]
+//!     seeds = [42]
+//! "#)?;
+//! let out = run_sweep(&plan, 2)?;
+//! assert_eq!(out.runs.len(), 2);
+//! # Ok::<(), csim_sweep::SweepError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod engine;
+mod grid;
+mod plan;
+mod toml;
+
+pub use engine::{run_sweep, RunOutcome, SweepOutcome, SWEEP_REPORT_SCHEMA};
+pub use grid::RunSpec;
+pub use plan::{
+    derive_seeds, integration_short_name, parse_integration, parse_l2_spec, L2Spec, SweepError,
+    SweepPlan,
+};

@@ -1,0 +1,298 @@
+//! The sweep-plan TOML dialect.
+//!
+//! A deliberately small TOML subset, in the same spirit as the fault
+//! plans' loader (`crates/fault/src/toml.rs`) but extended with the two
+//! value forms a parameter grid needs: double-quoted strings (cache
+//! geometry specs, integration-level names) and single-line lists
+//! (`nodes = [1, 8]`). That is all a sweep plan needs, and it keeps the
+//! workspace free of external dependencies.
+
+use crate::plan::SweepError;
+
+/// A parsed scalar value.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Scalar {
+    Integer(u64),
+    Float(f64),
+    Bool(bool),
+    Str(String),
+}
+
+/// A parsed value: a scalar or a (possibly empty) list of scalars.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum TomlValue {
+    Scalar(Scalar),
+    List(Vec<Scalar>),
+}
+
+/// One `[table]` occurrence with its key/value entries (each tagged with
+/// the 1-based source line for error reporting).
+#[derive(Debug)]
+pub(crate) struct TomlItem {
+    pub table: String,
+    pub line: usize,
+    pub entries: Vec<(String, TomlValue, usize)>,
+}
+
+/// Parses the subset. Keys before any table header are rejected; so is
+/// anything that does not look like a header or a `key = value` pair.
+pub(crate) fn parse(input: &str) -> Result<Vec<TomlItem>, SweepError> {
+    let mut items: Vec<TomlItem> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line = idx + 1;
+        let text = strip_comment(raw).trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(name) = header(text) {
+            items.push(TomlItem { table: name.to_string(), line, entries: Vec::new() });
+            continue;
+        }
+        let Some((key, value)) = text.split_once('=') else {
+            return Err(SweepError::Parse {
+                line,
+                message: format!("expected '[table]' or 'key = value', found '{text}'"),
+            });
+        };
+        let Some(item) = items.last_mut() else {
+            return Err(SweepError::Parse {
+                line,
+                message: "key/value pair before any [table] header".to_string(),
+            });
+        };
+        item.entries.push((key.trim().to_string(), value_of(value.trim(), line)?, line));
+    }
+    Ok(items)
+}
+
+/// Drops a `#` comment, but not a `#` inside a double-quoted string
+/// (grid entries like `l2 = ["2M8w"] # geometry` must survive with the
+/// string intact).
+fn strip_comment(raw: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in raw.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &raw[..i],
+            _ => {}
+        }
+    }
+    raw
+}
+
+/// `[name]` yields `name`. The sweep dialect has no table arrays: every
+/// table appears at most once.
+fn header(text: &str) -> Option<&str> {
+    let name = text.strip_prefix('[')?.strip_suffix(']')?.trim();
+    (!name.is_empty() && !name.contains(['[', ']'])).then_some(name)
+}
+
+fn value_of(text: &str, line: usize) -> Result<TomlValue, SweepError> {
+    if let Some(inner) = text.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err(SweepError::Parse {
+                line,
+                message: format!("unterminated list '{text}' (lists must close on one line)"),
+            });
+        };
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(TomlValue::List(Vec::new()));
+        }
+        let items = split_list(inner, line)?
+            .into_iter()
+            .map(|item| scalar(item.trim(), line))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(TomlValue::List(items));
+    }
+    Ok(TomlValue::Scalar(scalar(text, line)?))
+}
+
+/// Splits a list body on commas that sit outside string quotes.
+fn split_list(inner: &str, line: usize) -> Result<Vec<&str>, SweepError> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, b) in inner.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b',' if !in_str => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err(SweepError::Parse {
+            line,
+            message: format!("unterminated string in list '[{inner}]'"),
+        });
+    }
+    parts.push(&inner[start..]);
+    Ok(parts)
+}
+
+fn scalar(text: &str, line: usize) -> Result<Scalar, SweepError> {
+    match text {
+        "true" => return Ok(Scalar::Bool(true)),
+        "false" => return Ok(Scalar::Bool(false)),
+        _ => {}
+    }
+    if let Some(inner) = text.strip_prefix('"') {
+        let Some(inner) = inner.strip_suffix('"') else {
+            return Err(SweepError::Parse {
+                line,
+                message: format!("unterminated string {text}"),
+            });
+        };
+        if inner.contains('"') {
+            return Err(SweepError::Parse {
+                line,
+                message: format!("stray quote inside string {text}"),
+            });
+        }
+        return Ok(Scalar::Str(inner.to_string()));
+    }
+    // Underscore separators for readability: `meas = 2_000_000`.
+    let plain = text.replace('_', "");
+    if let Ok(v) = plain.parse::<u64>() {
+        return Ok(Scalar::Integer(v));
+    }
+    if let Ok(v) = plain.parse::<f64>() {
+        if v.is_finite() {
+            return Ok(Scalar::Float(v));
+        }
+    }
+    Err(SweepError::Parse { line, message: format!("cannot parse value '{text}'") })
+}
+
+impl Scalar {
+    pub(crate) fn as_u64(&self, line: usize) -> Result<u64, SweepError> {
+        match self {
+            Scalar::Integer(v) => Ok(*v),
+            other => Err(SweepError::Parse {
+                line,
+                message: format!("expected an integer, found {other:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn as_bool(&self, line: usize) -> Result<bool, SweepError> {
+        match self {
+            Scalar::Bool(v) => Ok(*v),
+            other => Err(SweepError::Parse {
+                line,
+                message: format!("expected true or false, found {other:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn as_str(&self, line: usize) -> Result<&str, SweepError> {
+        match self {
+            Scalar::Str(v) => Ok(v),
+            other => Err(SweepError::Parse {
+                line,
+                message: format!("expected a quoted string, found {other:?}"),
+            }),
+        }
+    }
+}
+
+impl TomlValue {
+    pub(crate) fn as_scalar(&self, line: usize) -> Result<&Scalar, SweepError> {
+        match self {
+            TomlValue::Scalar(s) => Ok(s),
+            TomlValue::List(_) => Err(SweepError::Parse {
+                line,
+                message: "expected a single value, found a list".to_string(),
+            }),
+        }
+    }
+
+    pub(crate) fn as_list(&self, line: usize) -> Result<&[Scalar], SweepError> {
+        match self {
+            TomlValue::List(items) => Ok(items),
+            TomlValue::Scalar(_) => Err(SweepError::Parse {
+                line,
+                message: "expected a list like [1, 2], found a single value".to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_headers_scalars_and_lists() {
+        let items = parse(
+            "# intro\n[sweep]\nname = \"fig\" # trailing\nwarm = 2_000\nooo = false\n[grid]\nnodes = [1, 8]\nl2 = [\"2M8w\", \"8M1w\"]\nempty = []\n",
+        )
+        .unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].table, "sweep");
+        assert_eq!(
+            items[0].entries,
+            vec![
+                ("name".to_string(), TomlValue::Scalar(Scalar::Str("fig".into())), 3),
+                ("warm".to_string(), TomlValue::Scalar(Scalar::Integer(2000)), 4),
+                ("ooo".to_string(), TomlValue::Scalar(Scalar::Bool(false)), 5),
+            ]
+        );
+        assert_eq!(
+            items[1].entries,
+            vec![
+                (
+                    "nodes".to_string(),
+                    TomlValue::List(vec![Scalar::Integer(1), Scalar::Integer(8)]),
+                    7
+                ),
+                (
+                    "l2".to_string(),
+                    TomlValue::List(vec![Scalar::Str("2M8w".into()), Scalar::Str("8M1w".into())]),
+                    8
+                ),
+                ("empty".to_string(), TomlValue::List(Vec::new()), 9),
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_inside_strings_is_not_a_comment() {
+        let items = parse("[sweep]\nname = \"a#b\"\n").unwrap();
+        assert_eq!(
+            items[0].entries[0].1,
+            TomlValue::Scalar(Scalar::Str("a#b".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_orphan_keys_and_garbage() {
+        assert!(parse("x = 1\n").is_err());
+        assert!(parse("[a]\nnot a pair\n").is_err());
+        assert!(parse("[a]\nx = what\n").is_err());
+        assert!(parse("[]\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_strings_and_lists() {
+        assert!(parse("[a]\nx = \"open\n").is_err());
+        assert!(parse("[a]\nx = [1, 2\n").is_err());
+        assert!(parse("[a]\nx = [\"open]\n").is_err());
+    }
+
+    #[test]
+    fn type_accessors_enforce_shapes() {
+        let items = parse("[a]\nn = 3\nb = true\ns = \"x\"\nl = [1]\n").unwrap();
+        let e = &items[0].entries;
+        assert_eq!(e[0].1.as_scalar(2).unwrap().as_u64(2).unwrap(), 3);
+        assert!(e[0].1.as_scalar(2).unwrap().as_bool(2).is_err());
+        assert!(e[1].1.as_scalar(3).unwrap().as_bool(3).unwrap());
+        assert_eq!(e[2].1.as_scalar(4).unwrap().as_str(4).unwrap(), "x");
+        assert_eq!(e[3].1.as_list(5).unwrap().len(), 1);
+        assert!(e[3].1.as_scalar(5).is_err());
+        assert!(e[0].1.as_list(2).is_err());
+    }
+}

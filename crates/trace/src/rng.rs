@@ -93,7 +93,12 @@ impl SimRng {
             let x = self.next_u64();
             let m = (x as u128).wrapping_mul(bound as u128);
             let low = m as u64;
-            if low >= bound.wrapping_neg() % bound {
+            // The rejection threshold `bound.wrapping_neg() % bound` is
+            // strictly below `bound`, so `low >= bound` accepts without
+            // evaluating the 64-bit modulo — the common case for the small
+            // bounds used here. The accept/reject decision (and therefore
+            // the output stream) is identical to the plain Lemire form.
+            if low >= bound || low >= bound.wrapping_neg() % bound {
                 return (m >> 64) as u64;
             }
             // Rejected: retry with fresh bits (vanishingly rare for the

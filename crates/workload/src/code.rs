@@ -64,7 +64,7 @@ impl CodeRegion {
         // dodge direct-mapped conflicts unrealistically.
         let rank = self.popularity.sample(rng.gen_f64());
         let func = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15 | 1) % self.n_funcs();
-        CodeCursor { func, line: 0, instr: 0 }
+        CodeCursor { func, line: 0, instr: 0, base: 0 }
     }
 
     /// Advances the cursor by one instruction and returns that
@@ -72,8 +72,15 @@ impl CodeRegion {
     /// instruction of the current one.
     #[inline]
     pub fn step(&self, cursor: &mut CodeCursor, rng: &mut SimRng, map: &AddressMap) -> Addr {
-        let line_idx = cursor.func * self.func_lines + cursor.line;
-        let addr = map.line_addr(self.region, line_idx) + cursor.instr * 4;
+        // The line's base address is invariant for `instrs_per_line`
+        // consecutive steps, so it is cached in the cursor instead of
+        // re-deriving the address-map hash on every instruction. The
+        // addresses produced are identical to recomputing each step.
+        if cursor.instr == 0 {
+            let line_idx = cursor.func * self.func_lines + cursor.line;
+            cursor.base = map.line_addr(self.region, line_idx);
+        }
+        let addr = cursor.base + cursor.instr * 4;
         cursor.instr += 1;
         if cursor.instr == self.instrs_per_line {
             cursor.instr = 0;
@@ -92,6 +99,9 @@ pub struct CodeCursor {
     func: u64,
     line: u64,
     instr: u64,
+    /// Cached base address of the current line; recomputed whenever
+    /// `instr` wraps to 0 (new line or new function).
+    base: Addr,
 }
 
 #[cfg(test)]

@@ -14,10 +14,10 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 
-use csim_trace::{Addr, ExecMode, MemRef, ReferenceStream, SimRng};
+use csim_trace::{Access, Addr, ExecMode, MemRef, ReferenceStream, SimRng};
 
 use crate::code::{CodeCursor, CodeRegion};
-use crate::layout::{AddressMap, Region};
+use crate::layout::{AddressMap, Region, RegionHandle};
 use crate::params::{OltpParams, ParamsError};
 use crate::sga::{LockKind, Sga};
 use crate::tpcb::{Schema, Table};
@@ -25,6 +25,31 @@ use crate::zipf::ZipfTable;
 
 /// Redo bytes generated per row update.
 const REDO_BYTES_PER_UPDATE: u64 = 120;
+
+// Packed burst-buffer entry: the address occupies the low bits (physical
+// addresses are at most `ADDR_BITS` = 46 bits plus an in-page offset),
+// the access kind two bits below the top, and the privilege mode the top
+// bit. One word per reference instead of a three-field struct.
+const PACK_ADDR_MASK: u64 = (1 << 48) - 1;
+const PACK_ACCESS_SHIFT: u32 = 61;
+const PACK_MODE_BIT: u64 = 1 << 63;
+
+#[inline]
+fn pack_ref(addr: Addr, access: Access, mode: ExecMode) -> u64 {
+    debug_assert!(addr <= PACK_ADDR_MASK, "address {addr:#x} exceeds the packable range");
+    addr | (access as u64) << PACK_ACCESS_SHIFT | if mode == ExecMode::Kernel { PACK_MODE_BIT } else { 0 }
+}
+
+#[inline]
+fn unpack_ref(word: u64) -> MemRef {
+    let access = match word >> PACK_ACCESS_SHIFT & 0x3 {
+        0 => Access::InstrFetch,
+        1 => Access::Load,
+        _ => Access::Store,
+    };
+    let mode = if word & PACK_MODE_BIT != 0 { ExecMode::Kernel } else { ExecMode::User };
+    MemRef { addr: word & PACK_ADDR_MASK, access, mode }
+}
 
 /// State shared by every process on every node: the redo log tail, commit
 /// accounting, and the recently-dirtied block lines the database writer
@@ -55,10 +80,11 @@ impl SharedOltpState {
         q.push_back(addr);
     }
 
-    fn pop_dirty(&self, n: usize) -> Vec<Addr> {
+    fn pop_dirty_into(&self, n: usize, out: &mut Vec<Addr>) {
+        out.clear();
         let mut q = self.recent_dirty.lock().unwrap_or_else(|e| e.into_inner());
         let take = n.min(q.len());
-        q.drain(..take).collect()
+        out.extend(q.drain(..take));
     }
 }
 
@@ -161,10 +187,12 @@ impl RecentLines {
     }
 
     fn pick(&self, idx: usize) -> Option<Addr> {
-        if self.len == 0 {
-            None
-        } else {
-            Some(self.lines[idx % self.len])
+        match self.len {
+            0 => None,
+            // `len` saturates at 4, so in steady state the reduction is a
+            // mask instead of a hardware divide; `idx & 3 == idx % 4`.
+            4 => Some(self.lines[idx & 3]),
+            len => Some(self.lines[idx % len]),
         }
     }
 }
@@ -181,6 +209,17 @@ pub struct NodeWorkload {
     schema: Arc<Schema>,
     sga: Arc<Sga>,
     map: AddressMap,
+    // Precomputed region scatter handles: address translation through a
+    // handle skips half the page-hash mixing on every background data
+    // reference (bit-identical addresses; see `AddressMap::handle`).
+    h_meta: RegionHandle,
+    h_log: RegionHandle,
+    h_shared_read: RegionHandle,
+    h_kernel_shared: RegionHandle,
+    h_kernel_node: RegionHandle,
+    h_pga: Vec<RegionHandle>,
+    h_work: Vec<RegionHandle>,
+    h_kstack: Vec<RegionHandle>,
     db_code: Arc<CodeRegion>,
     kernel_code: Arc<CodeRegion>,
     meta_zipf: Arc<ZipfTable>,
@@ -199,15 +238,44 @@ pub struct NodeWorkload {
     daemon_db_cursor: CodeCursor,
     daemon_kernel_cursor: CodeCursor,
     daemon_recent: RecentLines,
-    buf: VecDeque<MemRef>,
-    // Precomputed mix thresholds.
-    uload_private: f64,
-    uload_meta: f64,
-    uload_work: f64,
-    ustore_private: f64,
-    ustore_meta: f64,
-    k_stack: f64,
-    k_node: f64,
+    /// The current scheduling burst, consumed by index. A flat `Vec` plus
+    /// cursor beats a `VecDeque` here: the consume path is a bounds check
+    /// and an increment, with no wrap-around arithmetic per reference.
+    /// Entries are packed to one word each (see [`pack_ref`]): a burst is
+    /// written once and read once, so halving its footprint halves the
+    /// buffer's share of memory traffic on the simulator's hottest path.
+    buf: Vec<u64>,
+    buf_head: usize,
+    /// Reused across database-writer bursts so flushing dirty victims
+    /// allocates nothing in steady state.
+    dirty_scratch: Vec<Addr>,
+    // Precomputed mix thresholds, in the integer domain of
+    // [`prob_threshold`]: a 53-bit draw `rng.next_u64() >> 11` compared
+    // against a threshold decides exactly like `rng.gen_f64() < p`, with
+    // no int→float conversion on the branch-feeding path.
+    uload_private: u64,
+    uload_meta: u64,
+    uload_work: u64,
+    ustore_private: u64,
+    ustore_meta: u64,
+    k_stack: u64,
+    k_node: u64,
+    t_load: u64,
+    t_either: u64,
+    t_reuse: u64,
+    t_kshared: u64,
+}
+
+/// The integer threshold equivalent to `gen_f64() < p`.
+///
+/// `gen_f64` is `(next_u64() >> 11) as f64 * 2^-53`, so with `n` the
+/// 53-bit draw, `n * 2^-53 < p  ⟺  n < p * 2^53  ⟺  n < ceil(p * 2^53)`
+/// (for integer `p * 2^53` the strict compare is unchanged; otherwise
+/// rounding up admits exactly the integers below the real bound). The
+/// scaling by a power of two is exact in `f64`, so the decision — and
+/// therefore every downstream draw — is bit-identical to the float form.
+fn prob_threshold(p: f64) -> u64 {
+    (p * (1u64 << 53) as f64).ceil() as u64
 }
 
 impl NodeWorkload {
@@ -249,6 +317,10 @@ impl NodeWorkload {
         let map = AddressMap::new(params.seed);
         let daemon_db_cursor = db_code.entry(&mut rng);
         let daemon_kernel_cursor = kernel_code.entry(&mut rng);
+        let servers_per_node = params.servers_per_node;
+        let per_server = |f: &dyn Fn(u16) -> Region| -> Vec<RegionHandle> {
+            (0..servers_per_node).map(|s| map.handle(f(s as u16))).collect()
+        };
         NodeWorkload {
             node,
             runs_lgwr: node == 0,
@@ -257,6 +329,14 @@ impl NodeWorkload {
             shared,
             schema,
             sga,
+            h_meta: map.handle(Region::MetaHot),
+            h_log: map.handle(Region::LogRing),
+            h_shared_read: map.handle(Region::SharedRead),
+            h_kernel_shared: map.handle(Region::KernelShared),
+            h_kernel_node: map.handle(Region::KernelNode { node }),
+            h_pga: per_server(&|server| Region::Pga { node, server }),
+            h_work: per_server(&|server| Region::WorkArea { node, server }),
+            h_kstack: per_server(&|server| Region::KernelStack { node, server }),
             map,
             db_code,
             kernel_code,
@@ -274,15 +354,26 @@ impl NodeWorkload {
             daemon_db_cursor,
             daemon_kernel_cursor,
             daemon_recent: RecentLines::default(),
-            buf: VecDeque::with_capacity(32 * 1024),
-            uload_private: params.w_uload_private / uload_total,
-            uload_meta: (params.w_uload_private + params.w_uload_meta) / uload_total,
-            uload_work: (params.w_uload_private + params.w_uload_meta + params.w_uload_work)
-                / uload_total,
-            ustore_private: params.w_ustore_private / ustore_total,
-            ustore_meta: (params.w_ustore_private + params.w_ustore_meta) / ustore_total,
-            k_stack: params.w_k_stack / k_total,
-            k_node: (params.w_k_stack + params.w_k_node) / k_total,
+            buf: Vec::with_capacity(32 * 1024),
+            buf_head: 0,
+            dirty_scratch: Vec::with_capacity(16),
+            uload_private: prob_threshold(params.w_uload_private / uload_total),
+            uload_meta: prob_threshold(
+                (params.w_uload_private + params.w_uload_meta) / uload_total,
+            ),
+            uload_work: prob_threshold(
+                (params.w_uload_private + params.w_uload_meta + params.w_uload_work) / uload_total,
+            ),
+            ustore_private: prob_threshold(params.w_ustore_private / ustore_total),
+            ustore_meta: prob_threshold(
+                (params.w_ustore_private + params.w_ustore_meta) / ustore_total,
+            ),
+            k_stack: prob_threshold(params.w_k_stack / k_total),
+            k_node: prob_threshold((params.w_k_stack + params.w_k_node) / k_total),
+            t_load: prob_threshold(params.p_load),
+            t_either: prob_threshold(params.p_load + params.p_store),
+            t_reuse: prob_threshold(params.bg_reuse),
+            t_kshared: prob_threshold(params.k_shared_store_fraction),
         }
     }
 
@@ -311,11 +402,13 @@ impl NodeWorkload {
 
     #[inline]
     fn push_data(&mut self, addr: Addr, write: bool, mode: ExecMode) {
-        self.buf.push_back(if write { MemRef::store(addr, mode) } else { MemRef::load(addr, mode) });
+        let access = if write { Access::Store } else { Access::Load };
+        self.buf.push(pack_ref(addr, access, mode));
     }
 
+    #[inline]
     fn meta_addr(&self, line: u64) -> Addr {
-        self.map.line_addr(Region::MetaHot, line)
+        self.h_meta.line_addr(line)
     }
 
     /// Acquire-release style latch access: read then write the lock line.
@@ -339,7 +432,7 @@ impl NodeWorkload {
         let last = (start + bytes - 1) / 64;
         for line in first..=last {
             let ring_line = line % self.sga.log_ring_lines();
-            let addr = self.map.line_addr(Region::LogRing, ring_line);
+            let addr = self.h_log.line_addr(ring_line);
             self.push_data(addr, true, ExecMode::User);
         }
     }
@@ -349,16 +442,16 @@ impl NodeWorkload {
     fn run_code(&mut self, kernel: bool, server: u16, n: u64) {
         let mode = if kernel { ExecMode::Kernel } else { ExecMode::User };
         let code = if kernel { Arc::clone(&self.kernel_code) } else { Arc::clone(&self.db_code) };
-        let (p_load, p_store) = (self.params.p_load, self.params.p_store);
+        let (t_load, t_either) = (self.t_load, self.t_either);
         let mut cursor = self.cursor_for(kernel, server);
         for _ in 0..n {
             let addr = code.step(&mut cursor, &mut self.rng, &self.map);
-            self.buf.push_back(MemRef::ifetch(addr, mode));
-            let roll: f64 = self.rng.gen_f64();
-            if roll < p_load {
+            self.buf.push(pack_ref(addr, Access::InstrFetch, mode));
+            let roll = self.rng.next_u64() >> 11;
+            if roll < t_load {
                 let a = self.background_target(kernel, server, false);
                 self.push_data(a, false, mode);
-            } else if roll < p_load + p_store {
+            } else if roll < t_either {
                 let a = self.background_target(kernel, server, true);
                 self.push_data(a, true, mode);
             }
@@ -397,7 +490,7 @@ impl NodeWorkload {
     /// Picks the target of a background data reference, preferring a
     /// recently used line with probability `bg_reuse`.
     fn background_target(&mut self, kernel: bool, server: u16, write: bool) -> Addr {
-        if self.rng.gen_f64() < self.params.bg_reuse {
+        if self.rng.next_u64() >> 11 < self.t_reuse {
             let idx = self.rng.gen_range_usize(0..4);
             let recent = if server == u16::MAX {
                 &self.daemon_recent
@@ -421,50 +514,48 @@ impl NodeWorkload {
     fn fresh_background_target(&mut self, kernel: bool, server: u16, write: bool) -> Addr {
         let server_idx = if server == u16::MAX { 0 } else { server };
         if kernel {
-            if write && self.rng.gen_f64() < self.params.k_shared_store_fraction {
+            if write && self.rng.next_u64() >> 11 < self.t_kshared {
                 let line = self.rng.gen_range(0..self.params.kernel_shared_lines);
-                return self.map.line_addr(Region::KernelShared, line);
+                return self.h_kernel_shared.line_addr(line);
             }
-            let roll: f64 = self.rng.gen_f64();
+            let roll = self.rng.next_u64() >> 11;
             if roll < self.k_stack {
                 let line = self.rng.gen_range(0..self.params.kernel_stack_lines);
-                self.map.line_addr(Region::KernelStack { node: self.node, server: server_idx }, line)
+                self.h_kstack[server_idx as usize].line_addr(line)
             } else if roll < self.k_node {
                 let line = self.rng.gen_range(0..self.params.kernel_node_lines);
-                self.map.line_addr(Region::KernelNode { node: self.node }, line)
+                self.h_kernel_node.line_addr(line)
             } else {
                 let line = self.rng.gen_range(0..self.params.kernel_shared_lines);
-                self.map.line_addr(Region::KernelShared, line)
+                self.h_kernel_shared.line_addr(line)
             }
         } else if write {
-            let roll: f64 = self.rng.gen_f64();
+            let roll = self.rng.next_u64() >> 11;
             if roll < self.ustore_private {
                 let line = self.rng.gen_range(0..self.params.pga_hot_lines);
-                self.map.line_addr(Region::Pga { node: self.node, server: server_idx }, line)
+                self.h_pga[server_idx as usize].line_addr(line)
             } else if roll < self.ustore_meta {
                 let u: f64 = self.rng.gen_f64();
                 self.meta_addr(self.meta_zipf.sample(u))
             } else {
                 let line = self.rng.gen_range(0..self.params.work_area_lines);
-                self.map
-                    .line_addr(Region::WorkArea { node: self.node, server: server_idx }, line)
+                self.h_work[server_idx as usize].line_addr(line)
             }
         } else {
-            let roll: f64 = self.rng.gen_f64();
+            let roll = self.rng.next_u64() >> 11;
             if roll < self.uload_private {
                 let line = self.rng.gen_range(0..self.params.pga_hot_lines);
-                self.map.line_addr(Region::Pga { node: self.node, server: server_idx }, line)
+                self.h_pga[server_idx as usize].line_addr(line)
             } else if roll < self.uload_meta {
                 let u: f64 = self.rng.gen_f64();
                 self.meta_addr(self.meta_zipf.sample(u))
             } else if roll < self.uload_work {
                 let line = self.rng.gen_range(0..self.params.work_area_lines);
-                self.map
-                    .line_addr(Region::WorkArea { node: self.node, server: server_idx }, line)
+                self.h_work[server_idx as usize].line_addr(line)
             } else {
                 let u: f64 = self.rng.gen_f64();
                 let line = self.shared_read_zipf.sample(u);
-                self.map.line_addr(Region::SharedRead, line)
+                self.h_shared_read.line_addr(line)
             }
         }
     }
@@ -477,7 +568,7 @@ impl NodeWorkload {
         // Pipe buffer and wakeup touches in per-node kernel data.
         for _ in 0..2 {
             let line = self.rng.gen_range(0..self.params.kernel_node_lines);
-            let addr = self.map.line_addr(Region::KernelNode { node: self.node }, line);
+            let addr = self.h_kernel_node.line_addr(line);
             self.push_data(addr, false, ExecMode::Kernel);
             self.push_data(addr, true, ExecMode::Kernel);
         }
@@ -518,7 +609,7 @@ impl NodeWorkload {
         self.shared.push_dirty(aaddr);
         let undo = {
             let line = self.rng.gen_range(0..self.params.pga_hot_lines);
-            self.map.line_addr(Region::Pga { node: self.node, server: s }, line)
+            self.h_pga[s as usize].line_addr(line)
         };
         self.push_data(undo, true, ExecMode::User);
         self.append_redo(REDO_BYTES_PER_UPDATE);
@@ -582,7 +673,7 @@ impl NodeWorkload {
         let s = self.cur_server as u16;
         self.run_code(true, s, self.params.switch_instrs);
         let line = self.rng.gen_range(0..self.params.kernel_node_lines);
-        let addr = self.map.line_addr(Region::KernelNode { node: self.node }, line);
+        let addr = self.h_kernel_node.line_addr(line);
         self.push_data(addr, false, ExecMode::Kernel);
         self.push_data(addr, true, ExecMode::Kernel);
     }
@@ -600,7 +691,7 @@ impl NodeWorkload {
         let span = (last_line - first_line).min(64);
         for l in 0..span {
             let ring_line = (first_line + l) % self.sga.log_ring_lines();
-            let addr = self.map.line_addr(Region::LogRing, ring_line);
+            let addr = self.h_log.line_addr(ring_line);
             self.push_data(addr, false, ExecMode::User);
         }
         self.lgwr_flushed_bytes = tail;
@@ -624,10 +715,12 @@ impl NodeWorkload {
             let addr = self.meta_addr(self.meta_zipf.sample(u));
             self.push_data(addr, false, ExecMode::User);
         }
-        let victims = self.shared.pop_dirty(16);
-        for addr in victims {
+        let mut victims = std::mem::take(&mut self.dirty_scratch);
+        self.shared.pop_dirty_into(16, &mut victims);
+        for &addr in &victims {
             self.push_data(addr, false, ExecMode::User);
         }
+        self.dirty_scratch = victims;
         self.run_code(true, u16::MAX, self.params.dbwr_instrs - half);
         for _ in 0..8 {
             let addr = self.map.line_addr(Region::IoBuffer { node: self.node }, self.io_seq);
@@ -636,7 +729,11 @@ impl NodeWorkload {
         }
     }
 
-    /// Produces the next scheduling burst into the buffer.
+    /// Produces the next scheduling burst into the buffer. Cold relative
+    /// to the per-reference pop in `next_ref` (a burst is thousands of
+    /// references), so it is kept out of the consumer's inlined fast path.
+    #[cold]
+    #[inline(never)]
     fn refill(&mut self) {
         debug_assert!(self.buf.is_empty());
         if self.runs_lgwr
@@ -668,11 +765,15 @@ impl NodeWorkload {
 }
 
 impl ReferenceStream for NodeWorkload {
+    #[inline]
     fn next_ref(&mut self) -> MemRef {
         loop {
-            if let Some(r) = self.buf.pop_front() {
-                return r;
+            if let Some(&word) = self.buf.get(self.buf_head) {
+                self.buf_head += 1;
+                return unpack_ref(word);
             }
+            self.buf.clear();
+            self.buf_head = 0;
             self.refill();
         }
     }

@@ -21,7 +21,20 @@
 #[derive(Clone, Debug)]
 pub struct ZipfTable {
     cdf: Vec<f64>,
+    /// First-level search index: `coarse[k]` is the partition point of the
+    /// cdf at threshold `k / COARSE_BINS`, so `sample(u)` only binary
+    /// searches the narrow window `coarse[k] .. coarse[k + 1]` that is
+    /// guaranteed to bracket the answer. Empty for tables too large to
+    /// index with `u32` (none in practice); then sampling falls back to
+    /// the full-table search.
+    coarse: Vec<u32>,
 }
+
+/// Number of first-level bins. Must be a power of two: `u * COARSE_BINS`
+/// is then exact in `f64` arithmetic, so the bin chosen for `u` provably
+/// brackets the full-table partition point and the accelerated search
+/// returns bit-identical results.
+const COARSE_BINS: usize = 256;
 
 impl ZipfTable {
     /// Builds the table for `n` items with skew `s`.
@@ -42,7 +55,17 @@ impl ZipfTable {
         for v in &mut cdf {
             *v /= total;
         }
-        ZipfTable { cdf }
+        let coarse = if cdf.len() <= u32::MAX as usize {
+            (0..=COARSE_BINS)
+                .map(|k| {
+                    let t = k as f64 / COARSE_BINS as f64;
+                    cdf.partition_point(|&c| c < t) as u32
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ZipfTable { cdf, coarse }
     }
 
     /// Number of items.
@@ -57,10 +80,21 @@ impl ZipfTable {
     }
 
     /// Maps a uniform variate `u` in `[0, 1)` to an item index.
+    ///
+    /// Bit-identical to a binary search of the full cdf: the coarse index
+    /// only narrows the window the search runs in (see [`COARSE_BINS`]).
     #[inline]
     pub fn sample(&self, u: f64) -> u64 {
         debug_assert!((0.0..=1.0).contains(&u));
-        self.cdf.partition_point(|&c| c < u) as u64
+        if self.coarse.is_empty() {
+            return self.cdf.partition_point(|&c| c < u) as u64;
+        }
+        // Exact: COARSE_BINS is a power of two, so `u * 256` never rounds
+        // and `k / COARSE_BINS <= u < (k + 1) / COARSE_BINS` holds exactly.
+        let k = ((u * COARSE_BINS as f64) as usize).min(COARSE_BINS - 1);
+        let lo = self.coarse[k] as usize;
+        let hi = self.coarse[k + 1] as usize;
+        (lo + self.cdf[lo..hi].partition_point(|&c| c < u)) as u64
     }
 }
 
@@ -94,6 +128,30 @@ mod tests {
         for i in 0..=100 {
             let u = i as f64 / 100.0;
             assert!(z.sample(u.min(0.999_999)) < 17);
+        }
+    }
+
+    #[test]
+    fn coarse_index_matches_full_search() {
+        // The accelerated sampler must agree with a plain full-table
+        // partition search on every variate, including bin boundaries.
+        for &(n, s) in &[(1u64, 0.0), (17, 0.7), (1000, 1.0), (3072, 0.75), (10240, 0.6)] {
+            let z = ZipfTable::new(n, s);
+            let check = |u: f64| {
+                let full = z.cdf.partition_point(|&c| c < u) as u64;
+                assert_eq!(z.sample(u), full, "n={n} s={s} u={u}");
+            };
+            for k in 0..=256u32 {
+                let edge = f64::from(k) / 256.0;
+                check(edge.min(1.0));
+                check((edge + 1e-12).min(1.0));
+                check((edge - 1e-12).max(0.0));
+            }
+            let mut x = 0.012_345_678_9_f64;
+            for _ in 0..10_000 {
+                x = (x * 997.0 + 0.123_456_789).fract();
+                check(x);
+            }
         }
     }
 

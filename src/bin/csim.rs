@@ -43,11 +43,22 @@
 //!                        (implied diagnostics stay on stderr)
 //!   --validate-json FILE   check FILE is well-formed JSON and exit
 //!   --validate-jsonl FILE  check FILE is well-formed JSONL and exit
+//!
+//! sweep mode (see crates/sweep and examples/fig09_sweep.toml):
+//!   --sweep PLAN         run the declarative parameter grid in PLAN
+//!                        (TOML: [sweep] scalars, [grid] axes) instead
+//!                        of a single configuration
+//!   --jobs N             worker threads for the sweep (default 1; the
+//!                        merged report is byte-identical for any N)
+//!
+//! Sweep mode accepts only --sweep, --jobs, --json-report and --quiet;
+//! per-run parameters live in the plan file.
 //! ```
 
 use oltp_chip_integration::obs::{json, REPORT_QUANTILES};
 use oltp_chip_integration::prelude::*;
 use oltp_chip_integration::stats::svg;
+use oltp_chip_integration::sweep::{parse_integration, parse_l2_spec};
 
 #[derive(Debug)]
 struct Args {
@@ -112,32 +123,19 @@ impl Default for Args {
     }
 }
 
-fn parse_l2(spec: &str) -> Result<(u64, u32), String> {
-    // Forms like "2M8w" or "1.25M4w".
-    let spec = spec.trim();
-    let m = spec.find(['M', 'm']).ok_or_else(|| format!("bad L2 spec '{spec}': missing M"))?;
-    let w = spec
-        .rfind(['w', 'W'])
-        .filter(|&w| w > m)
-        .ok_or_else(|| format!("bad L2 spec '{spec}': missing w"))?;
-    if w + 1 != spec.len() {
-        return Err(format!("bad L2 spec '{spec}': trailing characters after 'w'"));
+/// Parses the `--jobs` worker count: a positive integer, hardened the
+/// same way as the L2 spec parser (no zero, no trailing junk, a sanity
+/// ceiling well above any real machine).
+fn parse_jobs(text: &str) -> Result<usize, String> {
+    let jobs: usize =
+        text.trim().parse().map_err(|_| format!("bad --jobs value '{text}': not an integer"))?;
+    if jobs == 0 {
+        return Err("bad --jobs value '0': at least one worker is required".to_string());
     }
-    let mb: f64 = spec[..m].parse().map_err(|_| format!("bad L2 size in '{spec}'"))?;
-    let assoc: u32 = spec[m + 1..w].parse().map_err(|_| format!("bad associativity in '{spec}'"))?;
-    if !mb.is_finite() || mb <= 0.0 {
-        return Err(format!("bad L2 spec '{spec}': size must be positive"));
+    if jobs > 1024 {
+        return Err(format!("bad --jobs value '{jobs}': exceeds the 1024-worker ceiling"));
     }
-    if assoc == 0 {
-        return Err(format!("bad L2 spec '{spec}': associativity must be at least 1"));
-    }
-    if !assoc.is_power_of_two() {
-        return Err(format!(
-            "bad L2 spec '{spec}': associativity {assoc} is not a power of two"
-        ));
-    }
-    let bytes = (mb * (1u64 << 20) as f64).round() as u64;
-    Ok((bytes, assoc))
+    Ok(jobs)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -151,17 +149,10 @@ fn parse_args() -> Result<Args, String> {
             "--nodes" => args.nodes = value("--nodes")?.parse().map_err(|e| format!("{e}"))?,
             "--cores" => args.cores = value("--cores")?.parse().map_err(|e| format!("{e}"))?,
             "--integration" => {
-                args.integration = match value("--integration")?.as_str() {
-                    "cons" => IntegrationLevel::ConservativeBase,
-                    "base" => IntegrationLevel::Base,
-                    "l2" => IntegrationLevel::L2Integrated,
-                    "l2mc" => IntegrationLevel::L2McIntegrated,
-                    "all" => IntegrationLevel::FullyIntegrated,
-                    other => return Err(format!("unknown integration level '{other}'")),
-                }
+                args.integration = parse_integration(&value("--integration")?)?
             }
             "--l2" => {
-                let (bytes, assoc) = parse_l2(&value("--l2")?)?;
+                let (bytes, assoc) = parse_l2_spec(&value("--l2")?)?;
                 args.l2_bytes = bytes;
                 args.l2_assoc = assoc;
                 args.l2_explicit = true;
@@ -344,7 +335,80 @@ fn epoch_chart(samples: &[oltp_chip_integration::obs::EpochSample], epoch_len: u
         .with_series(nacks)
 }
 
+/// Sweep mode: `--sweep PLAN [--jobs N] [--json-report FILE] [--quiet]`.
+/// Per-run parameters come from the plan file, so every other flag is
+/// rejected rather than silently ignored.
+fn run_sweep_cli(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use oltp_chip_integration::sweep::{run_sweep, SweepPlan};
+
+    let mut plan_path: Option<String> = None;
+    let mut jobs = 1usize;
+    let mut json_report: Option<String> = None;
+    let mut quiet = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--sweep" => plan_path = Some(value("--sweep")?),
+            "--jobs" => jobs = parse_jobs(&value("--jobs")?)?,
+            "--json-report" => json_report = Some(value("--json-report")?),
+            "--quiet" => quiet = true,
+            other => {
+                return Err(format!(
+                    "flag '{other}' cannot be combined with --sweep (sweep mode accepts \
+                     only --sweep, --jobs, --json-report and --quiet; per-run parameters \
+                     belong in the plan file)"
+                )
+                .into())
+            }
+        }
+    }
+    // lint: allow(no-panic) — dispatch guarantees "--sweep" is present in argv
+    let path = plan_path.expect("sweep mode is only entered when --sweep is present");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read sweep plan '{path}': {e}"))?;
+    let plan = SweepPlan::from_toml_str(&text)?;
+    eprintln!(
+        "sweep '{}': {} run(s) on {} worker(s), {} warm + {} meas refs/node each",
+        plan.name,
+        plan.run_count(),
+        jobs,
+        plan.warm,
+        plan.meas
+    );
+    let outcome = run_sweep(&plan, jobs)?;
+    if let Some(path) = &json_report {
+        let doc = outcome.to_json();
+        std::fs::write(path, format!("{doc}\n"))
+            .map_err(|e| format!("cannot write report '{path}': {e}"))?;
+        eprintln!("report: {path}");
+    }
+    if quiet {
+        return Ok(());
+    }
+    let mut t = TextTable::new(vec!["run", "CPI", "MPKI", "L2 misses", "transactions"]);
+    for r in &outcome.runs {
+        t.row(vec![
+            r.spec.label(),
+            format!("{:.3}", r.report.breakdown.cpi()),
+            format!("{:.3}", r.report.mpki()),
+            r.report.misses.total().to_string(),
+            r.report.transactions.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
 fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--sweep") {
+        return run_sweep_cli(&argv).map_err(|e| -> Box<dyn std::error::Error> {
+            format!("{e} (try --help)").into()
+        });
+    }
     let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> {
         format!("{e} (try --help)").into()
     })?;
@@ -507,35 +571,54 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_l2;
+    // The L2 spec parser lives in csim-sweep so the plan loader and this
+    // front end accept exactly the same language; these tests pin the
+    // behavior `--l2` relies on.
+    use super::{parse_jobs, parse_l2_spec};
 
     #[test]
     fn parse_l2_accepts_the_paper_geometries() {
-        assert_eq!(parse_l2("8M1w").unwrap(), (8 << 20, 1));
-        assert_eq!(parse_l2("2M8w").unwrap(), (2 << 20, 8));
-        assert_eq!(parse_l2("1.25M4w").unwrap(), ((5 << 20) / 4, 4));
-        assert_eq!(parse_l2(" 16m2W ").unwrap(), (16 << 20, 2));
+        assert_eq!(parse_l2_spec("8M1w").unwrap(), (8 << 20, 1));
+        assert_eq!(parse_l2_spec("2M8w").unwrap(), (2 << 20, 8));
+        assert_eq!(parse_l2_spec("1.25M4w").unwrap(), ((5 << 20) / 4, 4));
+        assert_eq!(parse_l2_spec(" 16m2W ").unwrap(), (16 << 20, 2));
     }
 
     #[test]
     fn parse_l2_rejects_degenerate_sizes() {
-        assert!(parse_l2("0M4w").unwrap_err().contains("positive"));
-        assert!(parse_l2("-2M4w").unwrap_err().contains("positive"));
-        assert!(parse_l2("infM4w").unwrap_err().contains("positive"));
+        assert!(parse_l2_spec("0M4w").unwrap_err().contains("positive"));
+        assert!(parse_l2_spec("-2M4w").unwrap_err().contains("positive"));
+        assert!(parse_l2_spec("infM4w").unwrap_err().contains("positive"));
     }
 
     #[test]
     fn parse_l2_rejects_degenerate_associativity() {
-        assert!(parse_l2("2M0w").unwrap_err().contains("at least 1"));
-        assert!(parse_l2("2M3w").unwrap_err().contains("power of two"));
-        assert!(parse_l2("2M6w").unwrap_err().contains("power of two"));
+        assert!(parse_l2_spec("2M0w").unwrap_err().contains("at least 1"));
+        assert!(parse_l2_spec("2M3w").unwrap_err().contains("power of two"));
+        assert!(parse_l2_spec("2M6w").unwrap_err().contains("power of two"));
     }
 
     #[test]
     fn parse_l2_rejects_malformed_specs() {
-        assert!(parse_l2("2M8").unwrap_err().contains("missing w"));
-        assert!(parse_l2("8w").unwrap_err().contains("missing M"));
-        assert!(parse_l2("2M8wx").unwrap_err().contains("trailing"));
-        assert!(parse_l2("w2M").unwrap_err().contains("missing w"));
+        assert!(parse_l2_spec("2M8").unwrap_err().contains("missing w"));
+        assert!(parse_l2_spec("8w").unwrap_err().contains("missing M"));
+        assert!(parse_l2_spec("2M8wx").unwrap_err().contains("trailing"));
+        assert!(parse_l2_spec("w2M").unwrap_err().contains("missing w"));
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_counts() {
+        assert_eq!(parse_jobs("1").unwrap(), 1);
+        assert_eq!(parse_jobs(" 8 ").unwrap(), 8);
+        assert_eq!(parse_jobs("1024").unwrap(), 1024);
+    }
+
+    #[test]
+    fn parse_jobs_rejects_degenerate_counts() {
+        assert!(parse_jobs("0").unwrap_err().contains("at least one"));
+        assert!(parse_jobs("-2").unwrap_err().contains("not an integer"));
+        assert!(parse_jobs("four").unwrap_err().contains("not an integer"));
+        assert!(parse_jobs("4x").unwrap_err().contains("not an integer"));
+        assert!(parse_jobs("2048").unwrap_err().contains("ceiling"));
     }
 }

@@ -22,6 +22,9 @@
 //! * [`sim`] — the full-system simulator tying everything together.
 //! * [`stats`] — normalized stacked-bar charts and text tables in the
 //!   paper's reporting style.
+//! * [`sweep`] — the deterministic parallel sweep engine: declarative
+//!   parameter grids executed on scoped worker threads with merged
+//!   reports that are byte-identical for any worker count.
 //! * [`trace`] — the memory-reference vocabulary shared by all of the
 //!   above.
 //!
@@ -55,6 +58,7 @@ pub use csim_noc as noc;
 pub use csim_obs as obs;
 pub use csim_proc as proc;
 pub use csim_stats as stats;
+pub use csim_sweep as sweep;
 pub use csim_trace as trace;
 pub use csim_workload as workload;
 
@@ -75,6 +79,7 @@ pub mod prelude {
     };
     pub use csim_proc::{ExecBreakdown, StallClass};
     pub use csim_stats::{Bar, BarChart, LineChart, Series, TextTable};
+    pub use csim_sweep::{run_sweep, RunSpec, SweepError, SweepOutcome, SweepPlan};
     pub use csim_trace::{Access, ExecMode, MemRef, ReferenceStream};
     pub use csim_workload::{OltpParams, OltpWorkload};
 }
