@@ -1,0 +1,98 @@
+//! Whole-workspace architectural and determinism static analysis.
+//!
+//! `csim-lint` (in `csim-check`) gates single files against token-level
+//! rules. This crate is the deeper layer: it parses the *whole*
+//! workspace into one model — every file lexed with the shared
+//! [`csim_check::lex`] lexer, every function indexed, every
+//! intra-workspace reference recorded — builds a name-based call graph,
+//! and runs four passes over it:
+//!
+//! 1. [`layering`] — the architecture DAG gate: each crate's observed
+//!    dependencies must stay inside an explicit allowlist, and the
+//!    simulation substrate (`cache`/`coherence`/`noc`) must never see
+//!    the upper layers.
+//! 2. [`hotpath`] — functions marked `// analyze: hot` must
+//!    transitively avoid heap allocation, float arithmetic, and
+//!    panicking operations.
+//! 3. [`taint`] — nondeterminism sources (hash-order iteration,
+//!    wall-clock, thread identity, environment) must not flow into
+//!    export paths (SimReport, JSON writers, sweep merges).
+//! 4. [`deadpub`] — every unrestricted `pub` item must have a consumer
+//!    outside its own crate's shipped sources, or a reasoned escape.
+//!
+//! Escapes use the same `// lint: allow(rule) — reason` markers as
+//! csim-lint (reasons mandatory, every suppression counted in the
+//! report); traversal boundaries use `// analyze: cold — reason`.
+//! The report serializes as `csim-analyze-report/v1`, byte-stable
+//! across runs, via [`csim_obs::json`]. The `csim-analyze` binary is
+//! the CI entry point.
+
+#![forbid(unsafe_code)]
+
+pub mod deadpub;
+pub mod graph;
+pub mod hotpath;
+pub mod layering;
+pub mod model;
+pub mod report;
+pub mod taint;
+
+use std::io;
+use std::path::Path;
+
+pub use graph::CallGraph;
+pub use model::Workspace;
+pub use report::{AnalysisReport, Finding, Pass, Suppression, REPORT_SCHEMA};
+
+/// Loads the workspace at `root` and runs all four passes.
+///
+/// # Errors
+///
+/// I/O failures while reading sources, a root that is not the
+/// workspace, or a corrupted architecture allowlist (cycle).
+pub fn analyze_workspace(root: &Path) -> io::Result<AnalysisReport> {
+    let ws = Workspace::load(root)?;
+    Ok(analyze_model(&ws))
+}
+
+/// Runs the passes over an already-built model (fixture tests use this
+/// to analyze synthetic workspaces without touching the filesystem).
+///
+/// # Panics
+///
+/// Panics if the built-in architecture allowlist contains a cycle —
+/// that is a defect in this crate itself, caught by its own tests.
+pub fn analyze_model(ws: &Workspace) -> AnalysisReport {
+    // lint: allow(no-panic) — the allowlist is a compile-time constant; a cycle is a defect in this crate caught by the table_is_a_dag unit test, not a runtime condition
+    layering::validate_table().expect("built-in architecture allowlist must be a DAG");
+    let graph = CallGraph::build(ws);
+
+    let mut rep = AnalysisReport {
+        files_scanned: ws.files.len(),
+        fns_indexed: ws.fns.len(),
+        crates: ws.crates.len(),
+        pub_items: ws.pub_items.len(),
+        ..AnalysisReport::default()
+    };
+
+    let (f, s) = layering::run(ws);
+    rep.findings.extend(f);
+    rep.suppressions.extend(s);
+
+    let hot = hotpath::run(ws, &graph);
+    rep.hot_roots = hot.hot_roots;
+    rep.findings.extend(hot.findings);
+    rep.suppressions.extend(hot.suppressions);
+    rep.cold_boundaries.extend(hot.cold_boundaries);
+
+    let (f, s) = taint::run(ws, &graph);
+    rep.findings.extend(f);
+    rep.suppressions.extend(s);
+
+    let (f, s) = deadpub::run(ws);
+    rep.findings.extend(f);
+    rep.suppressions.extend(s);
+
+    rep.sort();
+    rep
+}

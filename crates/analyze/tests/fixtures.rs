@@ -1,0 +1,174 @@
+//! Negative fixtures: every rule must actually fire.
+//!
+//! A static-analysis gate that silently stops matching is worse than no
+//! gate — CI stays green while the property rots. Each test here mounts
+//! a fixture file from `tests/fixtures/` into a synthetic in-memory
+//! workspace at the path that makes it a violation (a cache-crate file,
+//! a sink-path file, …), runs the full pipeline via [`analyze_model`],
+//! and asserts the expected rule produces a finding. The escape test
+//! proves the suppression path works *and* that reasonless escapes stay
+//! inert.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use csim_analyze::model::{Section, Workspace};
+use csim_analyze::{analyze_model, AnalysisReport};
+
+/// Reads a fixture from `tests/fixtures/`.
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"))
+}
+
+/// Builds a synthetic workspace from `(mounted path, crate, section,
+/// fixture file)` tuples and runs every pass over it.
+fn analyze_mounted(files: &[(&str, &str, Section, &str)]) -> AnalysisReport {
+    let mut ws = Workspace::default();
+    let mut crates: BTreeSet<String> = files.iter().map(|(_, c, _, _)| c.to_string()).collect();
+    crates.insert("(root)".into());
+    // Import edges only resolve to crates the model knows, so the
+    // synthetic workspace always carries the layering fixture's target.
+    crates.insert("core".into());
+    ws.crates = crates.into_iter().collect();
+    for c in ws.crates.clone() {
+        let mut base = BTreeSet::new();
+        base.insert("HashMap".to_string());
+        base.insert("HashSet".to_string());
+        ws.hash_names.insert(c, base);
+    }
+    for (rel, c, sec, fix) in files {
+        ws.add_file((*rel).into(), (*c).into(), *sec, fixture(fix));
+    }
+    analyze_model(&ws)
+}
+
+fn rules_of(rep: &AnalysisReport) -> Vec<&str> {
+    rep.findings.iter().map(|f| f.rule.as_str()).collect()
+}
+
+#[test]
+fn layering_gate_fires_on_a_substrate_breach() {
+    let rep = analyze_mounted(&[(
+        "crates/cache/src/breach.rs",
+        "cache",
+        Section::Src,
+        "layering_breach.rs",
+    )]);
+    let f = rep
+        .findings
+        .iter()
+        .find(|f| f.rule == "layering")
+        .unwrap_or_else(|| panic!("no layering finding: {:?}", rules_of(&rep)));
+    assert!(f.message.contains("substrate"), "{}", f.message);
+    assert!(f.file.ends_with("breach.rs"));
+}
+
+#[test]
+fn hot_alloc_fires_transitively_with_a_chain() {
+    let rep = analyze_mounted(&[(
+        "crates/cache/src/hot_alloc.rs",
+        "cache",
+        Section::Src,
+        "hot_alloc.rs",
+    )]);
+    let f = rep
+        .findings
+        .iter()
+        .find(|f| f.rule == "hot-alloc")
+        .unwrap_or_else(|| panic!("no hot-alloc finding: {:?}", rules_of(&rep)));
+    // The allocation is in the helper, one hop from the root; the chain
+    // must name both so the reader can see how the hot path got there.
+    assert!(f.chain.iter().any(|c| c.contains("fixture_hot_kernel")), "{:?}", f.chain);
+    assert!(f.chain.iter().any(|c| c.contains("fixture_hot_helper")), "{:?}", f.chain);
+}
+
+#[test]
+fn hot_float_fires_and_names_the_arithmetic() {
+    let rep = analyze_mounted(&[(
+        "crates/cache/src/hot_float.rs",
+        "cache",
+        Section::Src,
+        "hot_float.rs",
+    )]);
+    assert!(rules_of(&rep).contains(&"hot-float"), "{:?}", rules_of(&rep));
+}
+
+#[test]
+fn hot_panic_fires_on_unwrap_but_not_on_debug_assert() {
+    let rep = analyze_mounted(&[(
+        "crates/cache/src/hot_panic.rs",
+        "cache",
+        Section::Src,
+        "hot_panic.rs",
+    )]);
+    let panics: Vec<_> = rep.findings.iter().filter(|f| f.rule == "hot-panic").collect();
+    assert_eq!(panics.len(), 1, "{panics:?}");
+    assert!(panics[0].excerpt.contains("unwrap"), "{}", panics[0].excerpt);
+    // `fixture_hot_checked` uses debug_assert! and must stay clean.
+    assert!(
+        rep.findings.iter().all(|f| !f.excerpt.contains("debug_assert")),
+        "{:?}",
+        rep.findings
+    );
+}
+
+#[test]
+fn taint_export_fires_on_hash_iteration_reaching_a_sink() {
+    let rep = analyze_mounted(&[(
+        "crates/obs/src/export.rs",
+        "obs",
+        Section::Src,
+        "taint_export.rs",
+    )]);
+    // Both the iterating helper and the export wrapper live in the sink
+    // file and are tainted, so both must be flagged — the helper as the
+    // taint root, the wrapper transitively through the call edge.
+    let taint: Vec<_> = rep.findings.iter().filter(|f| f.rule == "taint-export").collect();
+    assert!(
+        taint.iter().any(|f| f.message.contains("fixture_sharer_list")),
+        "{taint:?}"
+    );
+    assert!(taint.iter().any(|f| f.message.contains("fixture_export")), "{taint:?}");
+}
+
+#[test]
+fn dead_pub_fires_on_an_unconsumed_item() {
+    let rep = analyze_mounted(&[(
+        "crates/noc/src/orphan.rs",
+        "noc",
+        Section::Src,
+        "dead_pub.rs",
+    )]);
+    let f = rep
+        .findings
+        .iter()
+        .find(|f| f.rule == "dead-pub")
+        .unwrap_or_else(|| panic!("no dead-pub finding: {:?}", rules_of(&rep)));
+    assert!(f.message.contains("fixture_orphan_api"), "{}", f.message);
+}
+
+#[test]
+fn reasoned_escape_suppresses_and_reasonless_escape_is_inert() {
+    let rep = analyze_mounted(&[(
+        "crates/obs/src/export.rs",
+        "obs",
+        Section::Src,
+        "escape_allow.rs",
+    )]);
+    // The reasoned allow becomes a counted suppression...
+    assert!(
+        rep.suppressions.iter().any(|s| s.rule == "taint-export" && s.reason.contains("sorted")),
+        "{:?}",
+        rep.suppressions
+    );
+    // ...while the reasonless allow leaves its finding in force.
+    assert!(
+        rep.findings
+            .iter()
+            .any(|f| f.rule == "taint-export" && f.message.contains("fixture_unsorted_export")),
+        "{:?}",
+        rep.findings
+    );
+}

@@ -1,0 +1,8 @@
+//! Fixture: a `pub` item nobody consumes.
+//!
+//! Mounted as shipped noc-crate code in a workspace where no other
+//! file mentions the name — the dead-pub audit must flag it.
+
+pub fn fixture_orphan_api() -> u64 {
+    17
+}

@@ -1,0 +1,21 @@
+//! Fixture: the escape hatch, in both its valid and invalid forms.
+//!
+//! The first function carries a reasoned `lint: allow` and must be
+//! *suppressed* (counted, not a finding). The second carries a
+//! reasonless allow, which the escape policy treats as inert: the
+//! finding must still fire. Reasons are the whole point — an escape
+//! nobody can audit is a hole, not an escape.
+
+use std::collections::HashMap;
+
+// lint: allow(taint-export) — keys are collected and sorted before export, so iteration order never reaches the output
+pub fn fixture_sorted_export(m: &HashMap<u64, u8>) -> Vec<u64> {
+    let mut v: Vec<u64> = m.keys().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+// lint: allow(taint-export)
+pub fn fixture_unsorted_export(m: &HashMap<u64, u8>) -> Vec<u64> {
+    m.keys().copied().collect()
+}

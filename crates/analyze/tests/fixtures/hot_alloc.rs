@@ -1,0 +1,17 @@
+//! Fixture: heap allocation on a declared hot path.
+//!
+//! Mounted as shipped cache-crate code. The marked function grows a Vec
+//! per call; the hot-path pass must flag it, and the finding must carry
+//! the call chain from the root, because the allocation is one hop away
+//! from the marked function.
+
+// analyze: hot
+pub fn fixture_hot_kernel(x: u64) -> u64 {
+    fixture_hot_helper(x)
+}
+
+fn fixture_hot_helper(x: u64) -> u64 {
+    let mut scratch = Vec::new();
+    scratch.push(x);
+    scratch.len() as u64
+}

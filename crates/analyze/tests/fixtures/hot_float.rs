@@ -1,0 +1,11 @@
+//! Fixture: float arithmetic on a declared hot path.
+//!
+//! The simulator's hot substrate is integer-only by design; a stray
+//! `f64` in a marked function is exactly what the hot-float lint
+//! exists to catch.
+
+// analyze: hot
+pub fn fixture_hot_scale(x: u64) -> u64 {
+    let scaled = x as f64 * 1.5;
+    scaled as u64
+}

@@ -1,0 +1,16 @@
+//! Fixture: a panicking operation on a declared hot path.
+//!
+//! `.unwrap()` and `panic!` are findings on hot paths; `assert!` and
+//! `debug_assert!` are workspace policy and stay allowed — the second
+//! function proves the pass does not overreach.
+
+// analyze: hot
+pub fn fixture_hot_lookup(table: &[u64], i: usize) -> u64 {
+    *table.get(i).unwrap()
+}
+
+// analyze: hot
+pub fn fixture_hot_checked(x: u64) -> u64 {
+    debug_assert!(x > 0);
+    x - 1
+}

@@ -1,0 +1,11 @@
+//! Fixture: a substrate crate reaching up into the simulation core.
+//!
+//! Mounted by the fixture tests as `crates/cache/src/breach.rs` — a
+//! cache-crate file importing `csim_core` — which the layering gate must
+//! flag as a substrate-to-upper-layer breach. The reference is smuggled
+//! through a function body, not a `use` item, to prove body-level
+//! references count.
+
+pub fn fixture_peek_core() -> &'static str {
+    csim_core::RUN_REPORT_SCHEMA
+}

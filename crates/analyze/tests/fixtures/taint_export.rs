@@ -1,0 +1,20 @@
+//! Fixture: hash-iteration nondeterminism flowing into an export sink.
+//!
+//! Mounted as `crates/obs/src/export.rs` (a sink path). The helper
+//! iterates a `HashMap` — iteration order varies run to run — and the
+//! sink function folds that order into its output, so the taint pass
+//! must flag the sink with a chain back to the iteration site.
+
+use std::collections::HashMap;
+
+fn fixture_sharer_list(m: &HashMap<u64, u8>) -> Vec<u64> {
+    let mut v = Vec::new();
+    for (k, _) in m.iter() {
+        v.push(*k);
+    }
+    v
+}
+
+pub fn fixture_export(m: &HashMap<u64, u8>) -> Vec<u64> {
+    fixture_sharer_list(m)
+}

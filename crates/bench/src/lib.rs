@@ -191,7 +191,7 @@ pub fn comparison_table(metric: &str, rows: &[(&str, Option<f64>, f64)]) -> Text
 ///
 /// Fails when the directory cannot be created (read-only filesystem,
 /// permission, full disk).
-pub fn results_dir() -> std::io::Result<PathBuf> {
+pub(crate) fn results_dir() -> std::io::Result<PathBuf> {
     let dir = std::env::var("CSIM_RESULTS").unwrap_or_else(|_| "results".to_string());
     let path = PathBuf::from(dir);
     std::fs::create_dir_all(&path)?;
@@ -204,7 +204,7 @@ pub fn results_dir() -> std::io::Result<PathBuf> {
 /// The result files are side artifacts of a bench run — the charts and
 /// claim checks have already been printed — so IO failure is reported as
 /// a warning rather than aborting the remaining figures.
-pub fn save_csv(name: &str, charts: &[&BarChart]) {
+pub(crate) fn save_csv(name: &str, charts: &[&BarChart]) {
     if let Err(e) = try_save_csv(name, charts) {
         eprintln!("  warning: could not write results for {name}: {e}");
     }
@@ -256,11 +256,6 @@ pub fn normalized_totals(results: &[(String, SimReport)], by_misses: bool) -> Ve
         .collect();
     let first = raw.first().copied().unwrap_or(1.0).max(1e-12);
     raw.iter().map(|v| v / first * 100.0).collect()
-}
-
-/// Single-component bar used by ablation benches.
-pub fn simple_bar(label: &str, value: f64) -> Bar {
-    Bar::new(label).with("value", value)
 }
 
 #[cfg(test)]

@@ -158,6 +158,7 @@ impl Cache {
     /// Looks a line up and updates LRU state. On a write hit the line
     /// becomes dirty. On a miss nothing is allocated — service the miss and
     /// call [`Cache::insert`].
+    // analyze: hot
     #[inline]
     pub fn access(&mut self, line: u64, write: bool) -> Outcome {
         debug_assert!(line < TAG_MASK, "line {line:#x} exceeds the packable tag range");
@@ -216,12 +217,14 @@ impl Cache {
     /// uses this for back-to-back instruction fetches of one line, which
     /// dominate the fetch stream; the counters advance exactly as the
     /// full probe would advance them.
+    // analyze: hot
     #[inline]
     pub fn record_repeat_read_hit(&mut self) {
         self.stats.record_hit(false);
     }
 
     /// Checks for presence without touching LRU state or statistics.
+    // analyze: hot
     #[inline]
     pub fn contains(&self, line: u64) -> bool {
         let start = self.set_start(line);
@@ -229,6 +232,7 @@ impl Cache {
     }
 
     /// Whether the line is present and modified. `false` when absent.
+    // analyze: hot
     #[inline]
     pub fn is_dirty(&self, line: u64) -> bool {
         let start = self.set_start(line);
@@ -244,6 +248,7 @@ impl Cache {
     ///
     /// Panics in debug builds if the line is already present — the caller
     /// must only insert after a miss.
+    // analyze: hot
     #[inline]
     pub fn insert(&mut self, line: u64, dirty: bool) -> Option<Evicted> {
         debug_assert!(line < TAG_MASK, "line {line:#x} exceeds the packable tag range");

@@ -106,6 +106,7 @@ impl StackDistance {
 
     /// Records one access to `line` and returns its stack distance
     /// (`None` for a cold, first-ever access).
+    // analyze: cold — offline characterization tool (Mattson analysis of the workload footprint), used by the characterize bin and examples, never by the simulator loop; the name-based call graph conflates this `access` with the simulator's
     pub fn access(&mut self, line: u64) -> Option<u64> {
         self.accesses += 1;
         let now = self.bits.len();

@@ -1,0 +1,559 @@
+//! A hand-rolled, lossless Rust lexer shared by the source-analysis
+//! tools (`csim-lint` and `csim-analyze`).
+//!
+//! The workspace builds with zero external crates, so the analysis
+//! layer cannot lean on `syn` or `rustc_lexer`. This module provides
+//! the next best thing: a token-level scan of Rust source that is
+//!
+//! * **lossless** — the token texts tile the input exactly, so
+//!   concatenating them reproduces the file byte-for-byte (a property
+//!   test fuzzes this on arbitrary input and checks it on every file in
+//!   the workspace);
+//! * **panic-free** — arbitrary bytes lex to *something*; malformed
+//!   source yields unterminated literal/comment tokens, never an abort;
+//! * **honest about the hard cases** — nested block comments
+//!   (`/* /* */ */`), raw strings with any hash depth (`r##"…"##`),
+//!   byte and raw-byte strings, raw identifiers (`r#type`), multi-byte
+//!   character literals (`'é'`), and the char-literal/lifetime
+//!   ambiguity (`'a'` vs `&'a str`) are all tokenized correctly. The
+//!   previous line-oriented stripper mis-lexed multi-byte char
+//!   literals, which silently corrupted everything after them on the
+//!   line — a lint gate that can be blinded by a unicode literal is not
+//!   a gate.
+//!
+//! On top of the lexer sit the two helpers the analysis tools share:
+//!
+//! * [`strip_noncode`] — blanks comments and string/char literals while
+//!   preserving byte length and line structure, so token-level rule
+//!   scans can never be tripped (or hidden) by prose;
+//! * [`markers`] — extracts `// lint: allow(rule) — reason`,
+//!   `// analyze: hot`, and `// analyze: cold — reason` directives from
+//!   *comment tokens only*. The old scanner searched raw lines, so a
+//!   marker spelled inside a string literal could fabricate an escape
+//!   and suppress a real finding; a directive is now only a directive
+//!   when it is actually a comment.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Spaces, tabs, newlines.
+    Ws,
+    /// `// …` to end of line (newline excluded).
+    LineComment,
+    /// `/* … */`, nesting tracked; unterminated runs to EOF.
+    BlockComment,
+    /// `"…"` or `b"…"` with escapes; unterminated runs to EOF.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br##"…"##`; unterminated runs to EOF.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`, `'é'`; unterminated stops at newline.
+    CharLit,
+    /// `'a` in `&'a str` (also loop labels).
+    Lifetime,
+    /// Identifier or keyword, including raw identifiers (`r#type`).
+    Ident,
+    /// Numeric literal, including suffixes (`1.5f64`, `0xFF`, `1e-3`).
+    Num,
+    /// Any other single character.
+    Punct,
+}
+
+/// One token. `text` borrows from the lexed source; `start` is its byte
+/// offset and `line` the 1-based line its first byte sits on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tok<'a> {
+    /// Classification.
+    pub kind: TokKind,
+    /// Exact source slice (losslessness: slices tile the input).
+    pub text: &'a str,
+    /// Byte offset of `text` in the input.
+    pub start: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: usize,
+}
+
+#[inline]
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+#[inline]
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Scans past a raw-string body starting at the `r` (or the `b` of
+/// `br`). Returns the end offset (just past the closing quote, or EOF
+/// when unterminated), or `None` when this is not a raw string at all.
+fn raw_string_end(b: &[u8], mut i: usize) -> Option<usize> {
+    if b.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    if b.get(i) != Some(&b'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut closing = 0usize;
+            while closing < hashes && b.get(j) == Some(&b'#') {
+                closing += 1;
+                j += 1;
+            }
+            if closing == hashes {
+                return Some(j);
+            }
+        }
+        i += 1;
+    }
+    Some(b.len())
+}
+
+/// Scans past an escaped (non-raw) string body; `i` points just past
+/// the opening quote. Returns the offset past the closing quote, or EOF.
+fn str_end(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' if i + 1 < b.len() => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Lexes `src` into a lossless token stream: the `text` slices of the
+/// returned tokens concatenate back to `src` exactly.
+///
+/// ```
+/// use csim_check::lex::{lex, TokKind};
+/// let toks = lex("let x = r#\"raw\"#; // done");
+/// let rebuilt: String = toks.iter().map(|t| t.text).collect();
+/// assert_eq!(rebuilt, "let x = r#\"raw\"#; // done");
+/// assert!(toks.iter().any(|t| t.kind == TokKind::RawStr));
+/// ```
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < b.len() {
+        let start = i;
+        let kind = match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                TokKind::LineComment
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                TokKind::BlockComment
+            }
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\r' | b'\n') {
+                    i += 1;
+                }
+                TokKind::Ws
+            }
+            b'"' => {
+                i = str_end(b, i + 1);
+                TokKind::Str
+            }
+            b'\'' => {
+                let (kind, end) = char_or_lifetime(src, i);
+                i = end;
+                kind
+            }
+            c if c.is_ascii_digit() => {
+                i += 1;
+                loop {
+                    match b.get(i) {
+                        Some(&c) if c.is_ascii_alphanumeric() || c == b'_' => i += 1,
+                        // `.` continues a number only when a digit
+                        // follows (`1.5`); `1.max(2)` keeps the dot as
+                        // punctuation.
+                        Some(&b'.')
+                            if b.get(i + 1).is_some_and(u8::is_ascii_digit) =>
+                        {
+                            i += 1;
+                        }
+                        // Exponent sign: `1e+5` / `2.5E-3`.
+                        Some(&(b'+' | b'-'))
+                            if matches!(b.get(i.wrapping_sub(1)), Some(b'e' | b'E'))
+                                && b.get(i + 1).is_some_and(u8::is_ascii_digit) =>
+                        {
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                TokKind::Num
+            }
+            c if is_ident_start(c) => {
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // Literal prefixes: the greedy ident scan has already
+                // absorbed `r`, `b`, or `br`; if a string body follows,
+                // extend the token into the literal. Anything longer
+                // (`for_x"`) is an ordinary ident followed by a string.
+                match ident {
+                    "r" | "br" if b.get(i) == Some(&b'"') || b.get(i) == Some(&b'#') => {
+                        if let Some(end) = raw_string_end(b, start) {
+                            i = end;
+                            TokKind::RawStr
+                        } else if ident == "r"
+                            && b.get(i) == Some(&b'#')
+                            && b.get(i + 1).copied().is_some_and(is_ident_start)
+                        {
+                            // Raw identifier `r#type`.
+                            i += 2;
+                            while i < b.len() && is_ident_continue(b[i]) {
+                                i += 1;
+                            }
+                            TokKind::Ident
+                        } else {
+                            TokKind::Ident
+                        }
+                    }
+                    "b" if b.get(i) == Some(&b'"') => {
+                        i = str_end(b, i + 1);
+                        TokKind::Str
+                    }
+                    "b" if b.get(i) == Some(&b'\'') => {
+                        let (_, end) = char_or_lifetime(src, i);
+                        i = end;
+                        TokKind::CharLit
+                    }
+                    _ => TokKind::Ident,
+                }
+            }
+            _ => {
+                // One Punct per character; >= 0x80 starters were claimed
+                // by the ident arm, so this advances exactly one byte of
+                // ASCII and never splits a UTF-8 sequence.
+                i += 1;
+                TokKind::Punct
+            }
+        };
+        let text = &src[start..i];
+        toks.push(Tok { kind, text, start, line });
+        line += text.bytes().filter(|&c| c == b'\n').count();
+    }
+    toks
+}
+
+/// Disambiguates `'…` at offset `i` (which holds the `'`): char literal
+/// vs lifetime vs lone quote. Returns the kind and the end offset.
+fn char_or_lifetime(src: &str, i: usize) -> (TokKind, usize) {
+    let b = src.as_bytes();
+    let rest = &src[i + 1..];
+    let mut chars = rest.chars();
+    match chars.next() {
+        None => (TokKind::Punct, i + 1),
+        // Escaped char literal: scan to the closing quote, but never
+        // across a newline (char literals cannot contain raw newlines;
+        // stopping keeps a stray quote from swallowing the file).
+        Some('\\') => {
+            let mut j = i + 1;
+            while j < b.len() {
+                match b[j] {
+                    b'\\' if j + 1 < b.len() && b[j + 1] != b'\n' => j += 2,
+                    b'\'' => return (TokKind::CharLit, j + 1),
+                    b'\n' => break,
+                    _ => j += 1,
+                }
+            }
+            (TokKind::CharLit, j)
+        }
+        Some(c) => {
+            let after = chars.next();
+            if c != '\'' && after == Some('\'') {
+                // 'x' or 'é' — one char (of any width), then a quote.
+                (TokKind::CharLit, i + 1 + c.len_utf8() + 1)
+            } else if is_ident_start(c as u8) || !c.is_ascii() {
+                // Lifetime or loop label: consume the ident.
+                let mut j = i + 1 + c.len_utf8();
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                (TokKind::Lifetime, j)
+            } else {
+                (TokKind::Punct, i + 1)
+            }
+        }
+    }
+}
+
+/// Replaces the contents of comments and string/char literals with
+/// spaces, preserving byte length and line structure so offsets and
+/// line numbers keep meaning. Lifetimes survive; everything a human
+/// wrote as prose is gone, so token rules can neither be tripped nor
+/// hidden by comments or string text.
+pub fn strip_noncode(source: &str) -> String {
+    let mut out = String::with_capacity(source.len());
+    for tok in lex(source) {
+        match tok.kind {
+            TokKind::LineComment
+            | TokKind::BlockComment
+            | TokKind::Str
+            | TokKind::RawStr
+            | TokKind::CharLit => {
+                for ch in tok.text.chars() {
+                    if ch == '\n' {
+                        out.push('\n');
+                    } else {
+                        // Multi-byte chars blank to one space per byte so
+                        // byte offsets after the literal stay aligned.
+                        for _ in 0..ch.len_utf8() {
+                            out.push(' ');
+                        }
+                    }
+                }
+            }
+            _ => out.push_str(tok.text),
+        }
+    }
+    out
+}
+
+/// A source directive extracted from a comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// `// lint: allow(<rule>) — reason` — a counted, documented
+    /// exception to a named rule. The reason is mandatory; a bare
+    /// `allow` does not suppress anything.
+    Allow {
+        /// The rule being escaped (e.g. `no-panic`, `hot-alloc`).
+        rule: String,
+        /// The stated justification (may be empty — callers reject that).
+        reason: String,
+    },
+    /// `// analyze: hot` — the next function is on the measured hot
+    /// path; `csim-analyze` checks it (and everything it can reach)
+    /// for allocation, float arithmetic, and panicking operations.
+    Hot,
+    /// `// analyze: cold — reason` — the next function is a deliberate
+    /// hot-path boundary (slow path, opt-in instrumentation, reference
+    /// implementation); traversal stops here. The reason is mandatory
+    /// so boundaries stay visible, not silent.
+    Cold {
+        /// Why the boundary is legitimate (empty ⇒ marker is inert).
+        reason: String,
+    },
+}
+
+/// A directive plus the 1-based line it sits on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Marker {
+    /// Line of the directive itself (for `Allow`, the escaped code may
+    /// be on the same line or up to a few lines below).
+    pub line: usize,
+    /// What the directive says.
+    pub kind: MarkerKind,
+}
+
+/// Extracts analysis directives from `source`. Only comment tokens are
+/// considered, and the directive must open the comment (after `//`,
+/// `/*`, doc markers, and whitespace) — prose that merely *mentions*
+/// the syntax, or a string literal containing it, is not a directive.
+pub fn markers(source: &str) -> Vec<Marker> {
+    let mut out = Vec::new();
+    for tok in lex(source) {
+        if !matches!(tok.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let body = tok
+            .text
+            .trim_start_matches(['/', '*', '!'])
+            .trim_start()
+            .trim_end_matches(['*', '/'])
+            .trim_end();
+        if let Some(rest) = body.strip_prefix("lint: allow(") {
+            if let Some(close) = rest.find(')') {
+                let rule = rest[..close].trim().to_string();
+                let reason = trim_reason(&rest[close + 1..]);
+                out.push(Marker { line: tok.line, kind: MarkerKind::Allow { rule, reason } });
+            }
+        } else if let Some(rest) = body.strip_prefix("analyze:") {
+            let rest = rest.trim_start();
+            if rest == "hot" || rest.starts_with("hot ") || rest.starts_with("hot —") {
+                out.push(Marker { line: tok.line, kind: MarkerKind::Hot });
+            } else if let Some(r) = rest.strip_prefix("cold") {
+                out.push(Marker { line: tok.line, kind: MarkerKind::Cold { reason: trim_reason(r) } });
+            }
+        }
+    }
+    out
+}
+
+/// Strips the `— ` / `- ` / `: ` separator off a marker reason.
+fn trim_reason(s: &str) -> String {
+    s.trim_start_matches([' ', '-', '—', ':']).trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rebuild(src: &str) -> String {
+        lex(src).iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn lex_is_lossless_on_tricky_input() {
+        for src in [
+            "fn main() { let x = 1; }",
+            "/* nested /* deep /* deeper */ */ */ code",
+            "let r = r##\"a \"# b\"##; tail",
+            "let b = br#\"bytes\"#; let s = b\"esc\\\"aped\";",
+            "let c = '\\''; let l: &'a str = x; let label = 'outer: loop {};",
+            "let uni = 'é'; let mix = ['é', 'x'];",
+            "let f = 1.5e-3f64; let h = 0xFF_u8; let m = 1.max(2);",
+            "let raw_id = r#type; // trailing comment",
+            "unterminated /* block",
+            "unterminated \"string",
+            "let q = '",
+            "" ,
+        ] {
+            assert_eq!(rebuild(src), src, "lossless round-trip failed");
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_lex_as_one_token() {
+        let toks = lex("/* a /* b */ c */ x");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert_eq!(toks[0].text, "/* a /* b */ c */");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "x"));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents_disambiguate() {
+        let toks = lex("r#\"panic!\"# r#match rx\"s\"");
+        assert_eq!(toks[0].kind, TokKind::RawStr);
+        assert_eq!(toks[2].kind, TokKind::Ident);
+        assert_eq!(toks[2].text, "r#match");
+        // `rx` is a plain ident; the quote after it opens a normal string.
+        assert_eq!(toks[4].kind, TokKind::Ident);
+        assert_eq!(toks[5].kind, TokKind::Str);
+    }
+
+    #[test]
+    fn multibyte_char_literals_do_not_corrupt_the_tail() {
+        // The old line-oriented stripper treated the closing quote of
+        // 'é' as a fresh char-literal opener and swallowed real code.
+        let src = "let v = ['é', 'x']; y.unwrap()";
+        let stripped = strip_noncode(src);
+        assert!(stripped.contains("unwrap"), "code after a unicode char must survive: {stripped}");
+        assert_eq!(stripped.len(), src.len(), "byte length preserved");
+        let toks = lex(src);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::CharLit).count(), 2);
+    }
+
+    #[test]
+    fn strip_preserves_lines_and_blanks_literals() {
+        let src = "let a = 1; // unwrap() here\nlet b = \".expect(\"; /* panic!\nstill */ let c = r#\"todo!\"#;\n";
+        let out = strip_noncode(src);
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert_eq!(out.len(), src.len());
+        for bad in ["unwrap", "expect", "panic", "todo"] {
+            assert!(!out.contains(bad), "{bad} leaked through: {out}");
+        }
+        assert!(out.contains("let a = 1;"));
+        assert!(out.contains("let c ="));
+    }
+
+    #[test]
+    fn lifetimes_survive_stripping() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        assert_eq!(strip_noncode(src), src);
+    }
+
+    #[test]
+    fn markers_come_only_from_comments() {
+        let src = "\
+// lint: allow(no-panic) — real escape
+let s = \"// lint: allow(no-panic) — fake, inside a string\";
+// analyze: hot
+fn probe() {}
+// analyze: cold — slow path, amortized
+fn refill() {}
+";
+        let m = markers(src);
+        assert_eq!(m.len(), 3, "{m:?}");
+        assert_eq!(m[0].line, 1);
+        assert!(matches!(&m[0].kind, MarkerKind::Allow { rule, reason }
+            if rule == "no-panic" && reason == "real escape"));
+        assert!(matches!(m[1].kind, MarkerKind::Hot) && m[1].line == 3);
+        assert!(matches!(&m[2].kind, MarkerKind::Cold { reason } if reason.contains("slow path")));
+    }
+
+    #[test]
+    fn prose_mentioning_directives_is_not_a_directive() {
+        let src = "/// Use `// lint: allow(no-panic) — reason` to escape, or mark\n/// a fn with `// analyze: hot` markers.\nfn f() {}\n";
+        assert!(markers(src).is_empty(), "doc prose must not create markers");
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "let r = r#\"line1\nline2\"#;\n// analyze: hot\nfn g() {}\n";
+        let m = markers(src);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].line, 3);
+        let toks = lex(src);
+        let g = toks.iter().find(|t| t.text == "g").unwrap();
+        assert_eq!(g.line, 4);
+    }
+
+    #[test]
+    fn unterminated_char_stops_at_newline() {
+        let src = "let q = '\\\nlet next = 1;";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "next"),
+            "an unterminated char literal must not swallow the next line: {toks:?}");
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents_are_single_tokens() {
+        for (src, text) in [
+            ("1.5e-3f64;", "1.5e-3f64"),
+            ("0xFF_u8;", "0xFF_u8"),
+            ("1_000_000;", "1_000_000"),
+            ("2.5E+7;", "2.5E+7"),
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks[0].kind, TokKind::Num, "{src}");
+            assert_eq!(toks[0].text, text, "{src}");
+        }
+        // `1.max(2)` keeps the dot out of the number.
+        let toks = lex("1.max(2)");
+        assert_eq!(toks[0].text, "1");
+        assert_eq!(toks[1].text, ".");
+    }
+}

@@ -24,12 +24,15 @@
 //!
 //! The crate also ships [`lint`], a dependency-free source gate for the
 //! workspace's determinism and no-panic contracts, exposed as the
-//! `csim-lint` binary.
+//! `csim-lint` binary, and [`lex`], the lossless hand-rolled Rust lexer
+//! that both `csim-lint` and the deeper `csim-analyze` workspace
+//! analyzer build on.
 
 #![forbid(unsafe_code)]
 
 pub mod explore;
 pub mod invariants;
+pub mod lex;
 pub mod lint;
 pub mod model;
 pub mod sanitizer;

@@ -127,7 +127,7 @@ impl CacheState {
     }
 
     /// Whether this is either dirty residence.
-    pub fn is_modified(self) -> bool {
+    pub(crate) fn is_modified(self) -> bool {
         matches!(self, CacheState::ModifiedL2 | CacheState::ModifiedRac)
     }
 }
@@ -178,7 +178,7 @@ impl ModelState {
     }
 
     /// One-line human-readable summary, used in counterexample traces.
-    pub fn summarize(&self, config: &CheckConfig) -> String {
+    pub(crate) fn summarize(&self, config: &CheckConfig) -> String {
         use fmt::Write as _;
         let mut out = String::new();
         for (l, d) in self.dir.iter().enumerate() {

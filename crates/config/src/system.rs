@@ -381,6 +381,17 @@ impl Default for SystemConfigBuilder {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn in_order_is_the_default_processor_model() {
+        let mut b = super::SystemConfig::builder();
+        b.nodes(1).l2_off_chip(8 << 20, 1);
+        let default_cfg = b.build().unwrap();
+        let mut b = super::SystemConfig::builder();
+        b.nodes(1).l2_off_chip(8 << 20, 1).in_order();
+        let explicit = b.build().unwrap();
+        assert_eq!(default_cfg.processor, explicit.processor);
+    }
+
     use super::*;
 
     #[test]

@@ -325,6 +325,7 @@ impl<S: ReferenceStream> Simulation<S> {
             self.txn_source.as_ref().map_or(0, |s| s.transactions_completed());
     }
 
+    // analyze: hot
     fn advance(&mut self, refs_per_node: u64) {
         // The epoch check is hoisted into two loop bodies so the common
         // no-epochs configuration never tests it per round.
@@ -360,6 +361,7 @@ impl<S: ReferenceStream> Simulation<S> {
     /// Hands the observer a cumulative snapshot of the machine-wide
     /// counters at an epoch boundary. O(nodes x cores): cheap relative
     /// to the epoch of work it closes.
+    // analyze: cold — epoch-boundary bookkeeping: snapshots machine-wide counters once per epoch (thousands of references), never per reference
     fn close_epoch(&mut self) {
         let mut breakdown = ExecBreakdown::default();
         let mut misses = 0;
@@ -542,6 +544,7 @@ impl<S: ReferenceStream> Simulation<S> {
         }
     }
 
+    // analyze: cold — the per-reference timing model is float CPI arithmetic by design (the paper's analytical overlap model); reproducibility is guarded by the bit-identity tests, not by integer-only arithmetic
     fn access(&mut self, n: usize, c: usize, r: MemRef) {
         let line = r.line_addr(LINE_SIZE);
         let is_ifetch = r.access.is_instruction();

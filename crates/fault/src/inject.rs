@@ -155,7 +155,7 @@ impl FaultInjector {
     /// The latency multiplier a degraded link imposes at reference
     /// index `now` (1.0 outside every window). Overlapping windows
     /// compound multiplicatively.
-    pub fn link_multiplier(&self, now: u64) -> f64 {
+    pub(crate) fn link_multiplier(&self, now: u64) -> f64 {
         let mut m = 1.0;
         for f in &self.plan.link_faults {
             if f.covers(now) {
@@ -167,7 +167,7 @@ impl FaultInjector {
 
     /// Extra cycles a busy memory controller adds at reference index
     /// `now` (0 outside every window). Overlapping windows add up.
-    pub fn mc_extra(&self, now: u64) -> u64 {
+    pub(crate) fn mc_extra(&self, now: u64) -> u64 {
         self.plan
             .mc_faults
             .iter()

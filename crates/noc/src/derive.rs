@@ -20,7 +20,7 @@ impl MessagePath {
     }
 
     /// Appends a named segment (builder style).
-    pub fn seg(mut self, name: &'static str, cycles: f64) -> Self {
+    pub(crate) fn seg(mut self, name: &'static str, cycles: f64) -> Self {
         self.segments.push((name, cycles));
         self
     }

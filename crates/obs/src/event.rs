@@ -91,7 +91,7 @@ pub struct Event {
 impl Event {
     /// Serializes the event as one compact JSON object (no trailing
     /// newline) — one line of the JSONL export.
-    pub fn to_json_line(&self) -> String {
+    pub(crate) fn to_json_line(&self) -> String {
         let mut s = format!(
             "{{\"at\":{},\"node\":{},\"core\":{},\"line\":{},\"kind\":\"{}\"",
             self.at,
@@ -131,7 +131,7 @@ pub struct TraceFilter {
 
 impl TraceFilter {
     /// Whether `event` passes the filter.
-    pub fn keeps(&self, event: &Event) -> bool {
+    pub(crate) fn keeps(&self, event: &Event) -> bool {
         if let Some(nodes) = &self.nodes {
             if !nodes.contains(&event.node) {
                 return false;
@@ -180,7 +180,7 @@ pub struct EventRing {
 impl EventRing {
     /// Default ring capacity (events), chosen so a full ring is a few
     /// megabytes and a JSONL export stays shippable.
-    pub const DEFAULT_CAPACITY: usize = 65_536;
+    pub(crate) const DEFAULT_CAPACITY: usize = 65_536;
 
     /// A ring holding at most `capacity` events (clamped to >= 1),
     /// keeping only events that pass `filter`.

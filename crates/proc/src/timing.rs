@@ -167,6 +167,13 @@ impl TimingModel for Timing {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn calibration_round_trips_through_with_calibration() {
+        let from_params = OooTiming::new(OooParams::default());
+        let rebuilt = OooTiming::with_calibration(from_params.calibration());
+        assert_eq!(from_params, rebuilt);
+    }
+
     use super::*;
 
     #[test]

@@ -62,6 +62,16 @@ mod tests {
     use super::*;
 
     #[test]
+    fn default_geometry_matches_the_paper() {
+        // 64-byte lines, 8 KB (Alpha) pages -- and both valid inputs to
+        // the converters.
+        assert_eq!(DEFAULT_LINE_SIZE, 64);
+        assert_eq!(DEFAULT_PAGE_SIZE, 8192);
+        assert_eq!(line_addr(DEFAULT_LINE_SIZE, DEFAULT_LINE_SIZE), 1);
+        assert_eq!(page_addr(DEFAULT_PAGE_SIZE, DEFAULT_PAGE_SIZE), 1);
+    }
+
+    #[test]
     fn line_addr_is_floor_division() {
         assert_eq!(line_addr(0, 64), 0);
         assert_eq!(line_addr(63, 64), 0);

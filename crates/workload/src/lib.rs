@@ -51,5 +51,5 @@ pub use layout::{AddressMap, Region, ADDR_BITS, LINES_PER_PAGE, LINE_BYTES, PAGE
 pub use params::{OltpParams, ParamsError};
 pub use sga::{LockKind, Sga};
 pub use stream::{NodeWorkload, OltpWorkload, SharedOltpState};
-pub use tpcb::{RowRef, Schema, Table, BLOCK_HEADER_BYTES};
+pub use tpcb::{RowRef, Schema, Table};
 pub use zipf::ZipfTable;

@@ -306,6 +306,13 @@ impl OltpParams {
 #[cfg(test)]
 #[allow(clippy::field_reassign_with_default)]
 mod tests {
+    #[test]
+    fn txn_instrs_sums_the_per_phase_budgets() {
+        let p = super::OltpParams::default();
+        assert_eq!(p.txn_instrs(), p.txn_db_instrs + p.txn_pipe_instrs + p.txn_commit_instrs);
+        assert!(p.txn_instrs() > 0);
+    }
+
     use super::*;
 
     #[test]

@@ -73,7 +73,7 @@ impl Sga {
     }
 
     /// `MetaHot` line of the buffer header for a table block.
-    pub fn buffer_header_line(&self, table: Table, block: u64) -> u64 {
+    pub(crate) fn buffer_header_line(&self, table: Table, block: u64) -> u64 {
         let tag = match table {
             Table::Account => 0x51,
             Table::Teller => 0x52,

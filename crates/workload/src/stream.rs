@@ -34,12 +34,14 @@ const PACK_ADDR_MASK: u64 = (1 << 48) - 1;
 const PACK_ACCESS_SHIFT: u32 = 61;
 const PACK_MODE_BIT: u64 = 1 << 63;
 
+// analyze: hot
 #[inline]
 fn pack_ref(addr: Addr, access: Access, mode: ExecMode) -> u64 {
     debug_assert!(addr <= PACK_ADDR_MASK, "address {addr:#x} exceeds the packable range");
     addr | (access as u64) << PACK_ACCESS_SHIFT | if mode == ExecMode::Kernel { PACK_MODE_BIT } else { 0 }
 }
 
+// analyze: hot
 #[inline]
 fn unpack_ref(word: u64) -> MemRef {
     let access = match word >> PACK_ACCESS_SHIFT & 0x3 {
@@ -732,6 +734,7 @@ impl NodeWorkload {
     /// Produces the next scheduling burst into the buffer. Cold relative
     /// to the per-reference pop in `next_ref` (a burst is thousands of
     /// references), so it is kept out of the consumer's inlined fast path.
+    // analyze: cold — amortized burst refill: runs once per thousands of references and builds whole transaction blocks (Vec growth, Zipf walks) off the per-reference path
     #[cold]
     #[inline(never)]
     fn refill(&mut self) {
@@ -765,6 +768,7 @@ impl NodeWorkload {
 }
 
 impl ReferenceStream for NodeWorkload {
+    // analyze: hot
     #[inline]
     fn next_ref(&mut self) -> MemRef {
         loop {

@@ -15,7 +15,7 @@ use crate::layout::{Region, LINE_BYTES};
 use crate::params::OltpParams;
 
 /// Block header size in bytes (Oracle block overhead).
-pub const BLOCK_HEADER_BYTES: u64 = 128;
+pub(crate) const BLOCK_HEADER_BYTES: u64 = 128;
 
 /// A row's location: the line index within its table region, plus the
 /// block number (used to derive the buffer-header address in the SGA).
@@ -68,7 +68,7 @@ impl Schema {
     }
 
     /// Draws a teller uniformly; the transaction's branch is the teller's.
-    pub fn pick_teller(&self, rng: &mut SimRng) -> u64 {
+    pub(crate) fn pick_teller(&self, rng: &mut SimRng) -> u64 {
         rng.gen_range(0..self.branches * self.tellers_per_branch)
     }
 

@@ -4,8 +4,33 @@
 //! integration result still reproduces. This guards against the
 //! reproduction silently depending on the exact published numbers.
 
-use oltp_chip_integration::noc::{derive_latency_table, TechParams, Torus2D};
+use oltp_chip_integration::noc::{
+    derive_latency_table, local_path, remote_clean_path, TechParams, Torus2D,
+};
 use oltp_chip_integration::prelude::*;
+
+#[test]
+fn latency_table_matches_its_path_decomposition() {
+    // The table the simulator consumes must be exactly the rounded
+    // totals of the per-segment message paths it is documented to come
+    // from -- otherwise the path descriptions in figure output drift
+    // from the latencies actually simulated.
+    let tech = TechParams::paper_018um();
+    let torus = Torus2D::for_nodes(8);
+    for level in [
+        IntegrationLevel::Base,
+        IntegrationLevel::L2Integrated,
+        IntegrationLevel::L2McIntegrated,
+        IntegrationLevel::FullyIntegrated,
+    ] {
+        let table = derive_latency_table(level, &tech, &torus);
+        assert_eq!(table.local, local_path(level, &tech).total().round() as u64);
+        assert_eq!(
+            table.remote_clean,
+            remote_clean_path(level, &tech, &torus).total().round() as u64
+        );
+    }
+}
 
 fn run_with(cfg: &SystemConfig, warm: u64, meas: u64) -> f64 {
     let mut sim = Simulation::with_oltp(cfg, OltpParams::default()).unwrap();

@@ -9,6 +9,7 @@
 
 use oltp_chip_integration::obs::json::{validate, validate_jsonl};
 use oltp_chip_integration::prelude::*;
+use oltp_chip_integration::sim::RUN_REPORT_SCHEMA;
 
 const WARM: u64 = 10_000;
 const MEAS: u64 = 20_000;
@@ -69,6 +70,13 @@ fn same_seed_runs_export_byte_identical_json_and_jsonl() {
     let json_b = run_report_json(&report_b, sim_b.observer(), &manifest, None).to_string();
     assert_eq!(json_a, json_b, "same seeds must export byte-identical JSON");
     validate(&json_a).expect("report is well-formed JSON");
+    // Pin the schema tag: consumers key on this string, so renaming it
+    // is a breaking change that must show up in a test diff.
+    assert_eq!(RUN_REPORT_SCHEMA, "csim-run-report/v1");
+    assert!(
+        json_a.contains("\"schema\":\"csim-run-report/v1\""),
+        "run report must carry the schema tag"
+    );
 
     let trace_a = sim_a.observer().trace_jsonl();
     let trace_b = sim_b.observer().trace_jsonl();

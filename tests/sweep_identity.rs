@@ -16,7 +16,7 @@
 
 use oltp_chip_integration::cache::{Cache, Evicted, ReferenceCache};
 use oltp_chip_integration::config::CacheGeometry;
-use oltp_chip_integration::sweep::{run_sweep, SweepPlan};
+use oltp_chip_integration::sweep::{run_sweep, SweepPlan, SWEEP_REPORT_SCHEMA};
 use oltp_chip_integration::trace::SimRng;
 
 fn smoke_plan() -> SweepPlan {
@@ -47,6 +47,13 @@ fn parallel_sweep_report_is_byte_identical_to_serial() {
     let p = parallel.to_json().to_string();
     assert_eq!(s.len(), p.len(), "report sizes diverge between --jobs 1 and --jobs 4");
     assert_eq!(s, p, "parallel sweep must be byte-identical to serial");
+    // Pin the schema tag: consumers key on this string, so renaming it
+    // is a breaking change that must show up in a test diff.
+    assert_eq!(SWEEP_REPORT_SCHEMA, "csim-sweep-report/v1");
+    assert!(
+        s.contains("\"schema\":\"csim-sweep-report/v1\""),
+        "sweep report must carry the schema tag"
+    );
     // The contract is bytes, not structure: worker count must appear
     // nowhere in the document.
     assert!(!s.contains("jobs"), "worker count leaked into the report");
