@@ -208,8 +208,10 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn two_crate_ws() -> Workspace {
-        let mut ws = Workspace::default();
-        ws.crates = vec!["(root)".into(), "cache".into(), "core".into()];
+        let mut ws = Workspace {
+            crates: vec!["(root)".into(), "cache".into(), "core".into()],
+            ..Workspace::default()
+        };
         for c in ws.crates.clone() {
             ws.hash_names.insert(c, BTreeSet::new());
         }

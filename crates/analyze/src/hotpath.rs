@@ -91,7 +91,7 @@ pub fn run(ws: &Workspace, graph: &CallGraph) -> HotPathResult {
     // Cold boundaries actually adjacent to the reached set (a cold
     // marker on an unreachable fn is inert and not reported).
     let mut cold: Vec<ColdBoundary> = Vec::new();
-    for (&f, _) in &pred {
+    for &f in pred.keys() {
         for &g in &graph.callees[f] {
             if let Some(reason) = &ws.fns[g].cold {
                 cold.push(ColdBoundary {
@@ -108,7 +108,7 @@ pub fn run(ws: &Workspace, graph: &CallGraph) -> HotPathResult {
 
     let mut findings = Vec::new();
     let mut suppressions = Vec::new();
-    for (&fid, _) in &pred {
+    for &fid in pred.keys() {
         let f = &ws.fns[fid];
         scan_fn(ws, &pred, f, &mut findings, &mut suppressions);
     }
@@ -229,19 +229,20 @@ fn scan_fn(
                     }
                 }
                 // Type::ctor( calls
-                if next == Some(":")
-                    || (prev == Some(":") && i >= 2 && file.text(body[i - 2]) == ":")
+                if (next == Some(":")
+                    || (prev == Some(":") && i >= 2 && file.text(body[i - 2]) == ":"))
+                    && prev == Some(":")
+                    && i >= 3
+                    && body[i - 3].kind == TokKind::Ident
                 {
-                    if prev == Some(":") && i >= 3 && body[i - 3].kind == TokKind::Ident {
-                        let qual = file.text(body[i - 3]);
-                        if ALLOC_PATHS.contains(&(qual, text)) {
-                            emit(
-                                "hot-alloc",
-                                line,
-                                format!("`{qual}::{text}` allocates on a hot path"),
-                            );
-                            continue;
-                        }
+                    let qual = file.text(body[i - 3]);
+                    if ALLOC_PATHS.contains(&(qual, text)) {
+                        emit(
+                            "hot-alloc",
+                            line,
+                            format!("`{qual}::{text}` allocates on a hot path"),
+                        );
+                        continue;
                     }
                 }
                 // float types
@@ -253,14 +254,12 @@ fn scan_fn(
                     );
                 }
             }
-            TokKind::Num => {
-                if is_float_literal(text) {
-                    emit(
-                        "hot-float",
-                        line,
-                        format!("float literal `{text}` on a hot path"),
-                    );
-                }
+            TokKind::Num if is_float_literal(text) => {
+                emit(
+                    "hot-float",
+                    line,
+                    format!("float literal `{text}` on a hot path"),
+                );
             }
             _ => {}
         }
@@ -274,8 +273,7 @@ mod tests {
     use std::collections::BTreeSet;
 
     fn ws_of(src: &str) -> (Workspace, CallGraph) {
-        let mut ws = Workspace::default();
-        ws.crates = vec!["core".into()];
+        let mut ws = Workspace { crates: vec!["core".into()], ..Workspace::default() };
         ws.hash_names.insert("core".into(), BTreeSet::new());
         ws.add_file("crates/core/src/lib.rs".into(), "core".into(), Section::Src, src.into());
         let g = CallGraph::build(&ws);

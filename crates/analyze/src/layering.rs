@@ -42,7 +42,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
             "stats", "obs",
         ],
     ),
-    ("sweep", &["trace", "workload", "config", "core", "obs"]),
+    ("sweep", &["trace", "workload", "config", "core", "obs", "fault"]),
     ("analyze", &["check", "obs"]),
     (
         "bench",
@@ -185,14 +185,16 @@ mod tests {
     }
 
     fn ws_with_edge(from: &str, src: &str) -> Workspace {
-        let mut ws = Workspace::default();
-        ws.crates = vec![
-            "(root)".into(),
-            "cache".into(),
-            "config".into(),
-            "core".into(),
-            "trace".into(),
-        ];
+        let mut ws = Workspace {
+            crates: vec![
+                "(root)".into(),
+                "cache".into(),
+                "config".into(),
+                "core".into(),
+                "trace".into(),
+            ],
+            ..Workspace::default()
+        };
         for c in ws.crates.clone() {
             ws.hash_names.insert(c, BTreeSet::new());
         }

@@ -572,17 +572,16 @@ fn parse_items(ws: &mut Workspace, file_idx: usize) {
                     }
                     i += 1;
                 }
-                if is_trait && pending_pub && !in_test && section == Section::Src {
-                    if !target.is_empty() {
-                        pubs.push(PubItem {
-                            file: file_idx,
-                            crate_name: crate_name.clone(),
-                            name: target.clone(),
-                            kind: PubKind::Trait,
-                            line: line(k),
-                            span: (k, i),
-                        });
-                    }
+                if is_trait && pending_pub && !in_test && section == Section::Src && !target.is_empty()
+                {
+                    pubs.push(PubItem {
+                        file: file_idx,
+                        crate_name: crate_name.clone(),
+                        name: target.clone(),
+                        kind: PubKind::Trait,
+                        line: line(k),
+                        span: (k, i),
+                    });
                 }
                 if i < n && text(i) == "{" {
                     stack.push(if pending_test || in_test {
@@ -958,8 +957,10 @@ mod tests {
     use super::*;
 
     fn ws_with(rel: &str, crate_name: &str, src: &str) -> Workspace {
-        let mut ws = Workspace::default();
-        ws.crates = vec!["(root)".into(), "cache".into(), "core".into()];
+        let mut ws = Workspace {
+            crates: vec!["(root)".into(), "cache".into(), "core".into()],
+            ..Workspace::default()
+        };
         for c in &ws.crates {
             let mut base = BTreeSet::new();
             base.insert("HashMap".to_string());
@@ -1017,8 +1018,10 @@ fn go() { let _ = csim_config::SystemConfig::default(); }
 #[cfg(test)]
 mod tests { use csim_workload::OltpParams; }
 ";
-        let mut ws = Workspace::default();
-        ws.crates = vec!["cache".into(), "config".into(), "core".into(), "workload".into()];
+        let mut ws = Workspace {
+            crates: vec!["cache".into(), "config".into(), "core".into(), "workload".into()],
+            ..Workspace::default()
+        };
         for c in ws.crates.clone() {
             ws.hash_names.insert(c, BTreeSet::new());
         }

@@ -290,7 +290,7 @@ pub fn run(ws: &Workspace, graph: &CallGraph) -> (Vec<Finding>, Vec<Suppression>
 }
 
 /// Follows predecessors to the BFS root (the source fn).
-fn chain_root<'a>(pred: &'a std::collections::BTreeMap<usize, usize>, mut f: usize) -> &'a usize {
+fn chain_root(pred: &std::collections::BTreeMap<usize, usize>, mut f: usize) -> &usize {
     let mut guard = 0;
     loop {
         match pred.get(&f) {

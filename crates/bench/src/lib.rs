@@ -23,7 +23,7 @@ use std::path::PathBuf;
 
 use csim_config::SystemConfig;
 use csim_core::{SimReport, Simulation};
-use csim_stats::{Bar, BarChart, TextTable};
+use csim_stats::{BarChart, TextTable};
 use csim_workload::OltpParams;
 
 /// A labeled configuration in a figure's sweep.

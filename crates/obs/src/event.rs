@@ -91,7 +91,7 @@ pub struct Event {
 impl Event {
     /// Serializes the event as one compact JSON object (no trailing
     /// newline) — one line of the JSONL export.
-    pub(crate) fn to_json_line(&self) -> String {
+    pub(crate) fn to_json_line(self) -> String {
         let mut s = format!(
             "{{\"at\":{},\"node\":{},\"core\":{},\"line\":{},\"kind\":\"{}\"",
             self.at,

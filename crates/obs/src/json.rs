@@ -11,6 +11,13 @@
 //! * [`validate`] / [`validate_jsonl`] — a minimal recursive-descent
 //!   well-formedness checker used by the CI smoke run and the export
 //!   tests. It checks syntax only; it does not build a tree.
+//! * [`parse`] — a tree-building reader for documents this writer
+//!   produced. For writer-canonical input (no whitespace, no exponent
+//!   notation, shortest-round-trip floats, minimal escapes) the
+//!   round-trip `parse(s)?.to_string() == s` holds byte-for-byte — the
+//!   property the sweep shard-merge and checkpoint-resume paths rely
+//!   on to reassemble reports that are indistinguishable from an
+//!   uninterrupted single-process run.
 
 /// An ordered JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -55,6 +62,40 @@ impl Json {
             Json::Obj(pairs) => pairs.push((key.into(), value)),
             // lint: allow(no-panic) — documented builder-misuse panic; a non-object receiver is a bug in the exporter itself
             other => panic!("Json::push on non-object {other:?}"),
+        }
+    }
+
+    /// Looks up `key` in an object. `None` for missing keys and for
+    /// non-object receivers, so lookups chain without panicking.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The unsigned-integer payload, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
         }
     }
 
@@ -331,6 +372,183 @@ fn number(b: &[u8], pos: usize) -> Result<usize, JsonError> {
     Ok(pos)
 }
 
+/// Parses `text` into a [`Json`] tree.
+///
+/// Accepts standard JSON. For documents produced by this module's
+/// writer the parse is byte-faithful: `parse(s)?.to_string() == s`
+/// (numbers are classified back into the writer's `UInt`/`Int`/`Float`
+/// forms and strings re-escape identically). Foreign documents parse
+/// too, but may re-serialize with different (canonical) bytes.
+///
+/// # Errors
+///
+/// A [`JsonError`] locating the first problem.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let b = text.as_bytes();
+    let pos = skip_ws(b, 0);
+    let (doc, pos) = parse_value(b, pos, 0)?;
+    let pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(err(pos, "trailing characters after the document"));
+    }
+    Ok(doc)
+}
+
+fn parse_value(b: &[u8], pos: usize, depth: usize) -> Result<(Json, usize), JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(err(pos, "nesting too deep"));
+    }
+    match b.get(pos) {
+        None => Err(err(pos, "expected a value, found end of input")),
+        Some(b'{') => {
+            let mut pairs = Vec::new();
+            let mut pos = skip_ws(b, pos + 1);
+            if b.get(pos) == Some(&b'}') {
+                return Ok((Json::Obj(pairs), pos + 1));
+            }
+            loop {
+                if b.get(pos) != Some(&b'"') {
+                    return Err(err(pos, "expected an object key string"));
+                }
+                let (key, after_key) = parse_string(b, pos)?;
+                pos = skip_ws(b, after_key);
+                if b.get(pos) != Some(&b':') {
+                    return Err(err(pos, "expected ':' after object key"));
+                }
+                let (val, after_val) = parse_value(b, skip_ws(b, pos + 1), depth + 1)?;
+                pairs.push((key, val));
+                pos = skip_ws(b, after_val);
+                match b.get(pos) {
+                    Some(b',') => pos = skip_ws(b, pos + 1),
+                    Some(b'}') => return Ok((Json::Obj(pairs), pos + 1)),
+                    _ => return Err(err(pos, "expected ',' or '}' in object")),
+                }
+            }
+        }
+        Some(b'[') => {
+            let mut items = Vec::new();
+            let mut pos = skip_ws(b, pos + 1);
+            if b.get(pos) == Some(&b']') {
+                return Ok((Json::Arr(items), pos + 1));
+            }
+            loop {
+                let (val, after) = parse_value(b, pos, depth + 1)?;
+                items.push(val);
+                pos = skip_ws(b, after);
+                match b.get(pos) {
+                    Some(b',') => pos = skip_ws(b, pos + 1),
+                    Some(b']') => return Ok((Json::Arr(items), pos + 1)),
+                    _ => return Err(err(pos, "expected ',' or ']' in array")),
+                }
+            }
+        }
+        Some(b'"') => {
+            let (s, after) = parse_string(b, pos)?;
+            Ok((Json::Str(s), after))
+        }
+        Some(b't') => Ok((Json::Bool(true), literal(b, pos, "true")?)),
+        Some(b'f') => Ok((Json::Bool(false), literal(b, pos, "false")?)),
+        Some(b'n') => Ok((Json::Null, literal(b, pos, "null")?)),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let after = number(b, pos)?;
+            // The number grammar only admits ASCII, so the slice is
+            // valid UTF-8 by construction.
+            let raw = std::str::from_utf8(&b[pos..after])
+                .map_err(|_| err(pos, "malformed number"))?;
+            Ok((classify_number(raw, pos)?, after))
+        }
+        Some(c) => Err(err(pos, format!("unexpected byte 0x{c:02x}"))),
+    }
+}
+
+/// Maps a validated number token back onto the writer's variants:
+/// plain non-negative integers are `UInt`, plain negative integers are
+/// `Int`, anything fractional/exponential (or integral but too large)
+/// is `Float` — exactly the classification the writer serializes from,
+/// so writer output round-trips through the same variant.
+fn classify_number(raw: &str, pos: usize) -> Result<Json, JsonError> {
+    let plain_integer = !raw.contains(['.', 'e', 'E']);
+    if plain_integer {
+        if raw.starts_with('-') {
+            if let Ok(i) = raw.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        } else if let Ok(u) = raw.parse::<u64>() {
+            return Ok(Json::UInt(u));
+        }
+    }
+    raw.parse::<f64>().map(Json::Float).map_err(|_| err(pos, "malformed number"))
+}
+
+/// Decodes a string token starting at the opening quote, returning the
+/// unescaped payload and the position after the closing quote.
+fn parse_string(b: &[u8], pos: usize) -> Result<(String, usize), JsonError> {
+    debug_assert_eq!(b.get(pos), Some(&b'"'));
+    let mut out = Vec::new();
+    let mut pos = pos + 1;
+    loop {
+        match b.get(pos) {
+            None => return Err(err(pos, "unterminated string")),
+            Some(b'"') => {
+                let s = String::from_utf8(out)
+                    .map_err(|_| err(pos, "string is not valid UTF-8"))?;
+                return Ok((s, pos + 1));
+            }
+            Some(b'\\') => match b.get(pos + 1) {
+                Some(b'"') => { out.push(b'"'); pos += 2; }
+                Some(b'\\') => { out.push(b'\\'); pos += 2; }
+                Some(b'/') => { out.push(b'/'); pos += 2; }
+                Some(b'b') => { out.push(0x08); pos += 2; }
+                Some(b'f') => { out.push(0x0C); pos += 2; }
+                Some(b'n') => { out.push(b'\n'); pos += 2; }
+                Some(b'r') => { out.push(b'\r'); pos += 2; }
+                Some(b't') => { out.push(b'\t'); pos += 2; }
+                Some(b'u') => {
+                    let (c, after) = parse_unicode_escape(b, pos)?;
+                    let mut buf = [0u8; 4];
+                    out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    pos = after;
+                }
+                _ => return Err(err(pos, "bad escape sequence")),
+            },
+            Some(&c) if c < 0x20 => return Err(err(pos, "raw control character in string")),
+            Some(&c) => { out.push(c); pos += 1; }
+        }
+    }
+}
+
+/// Decodes `\uXXXX` at `pos` (pointing at the backslash), combining a
+/// trailing low surrogate when the unit is a high surrogate.
+fn parse_unicode_escape(b: &[u8], pos: usize) -> Result<(char, usize), JsonError> {
+    let unit = hex4(b, pos + 2).ok_or_else(|| err(pos, "truncated \\u escape"))?;
+    if (0xD800..0xDC00).contains(&unit) {
+        if b.get(pos + 6) != Some(&b'\\') || b.get(pos + 7) != Some(&b'u') {
+            return Err(err(pos, "lone high surrogate"));
+        }
+        let low = hex4(b, pos + 8).ok_or_else(|| err(pos, "truncated \\u escape"))?;
+        if !(0xDC00..0xE000).contains(&low) {
+            return Err(err(pos, "invalid low surrogate"));
+        }
+        let scalar = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+        let c = char::from_u32(scalar).ok_or_else(|| err(pos, "bad \\u escape"))?;
+        return Ok((c, pos + 12));
+    }
+    if (0xDC00..0xE000).contains(&unit) {
+        return Err(err(pos, "lone low surrogate"));
+    }
+    let c = char::from_u32(unit).ok_or_else(|| err(pos, "bad \\u escape"))?;
+    Ok((c, pos + 6))
+}
+
+fn hex4(b: &[u8], pos: usize) -> Option<u32> {
+    let hex = b.get(pos..pos + 4)?;
+    let mut v = 0u32;
+    for &d in hex {
+        v = (v << 4) | (d as char).to_digit(16)?;
+    }
+    Some(v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,5 +654,76 @@ mod tests {
         let mut o = Json::obj([("a", Json::UInt(1))]);
         o.push("b", Json::UInt(2));
         assert_eq!(o.to_string(), "{\"a\":1,\"b\":2}");
+    }
+
+    #[test]
+    fn accessors_navigate_without_panicking() {
+        let doc = Json::obj([
+            ("name", Json::str("x")),
+            ("n", Json::UInt(7)),
+            ("arr", Json::Arr(vec![Json::UInt(1)])),
+        ]);
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some("x"));
+        assert_eq!(doc.get("n").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("arr").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(Json::UInt(1).get("k"), None);
+        assert_eq!(Json::Int(-1).as_u64(), None);
+        assert_eq!(Json::Int(5).as_u64(), Some(5));
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output_byte_for_byte() {
+        let doc = Json::obj([
+            ("name", Json::str("csim \"quoted\"\n\ttab")),
+            ("count", Json::UInt(u64::MAX)),
+            ("neg", Json::Int(i64::MIN)),
+            ("pi", Json::Float(3.25)),
+            ("tiny", Json::Float(0.1)),
+            ("nan", Json::Float(f64::NAN)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            ("ctrl", Json::str("a\u{1}b")),
+            ("arr", Json::Arr(vec![Json::UInt(1), Json::Float(-2.5), Json::Arr(vec![])])),
+            ("nested", Json::obj([("k", Json::obj([]))])),
+        ]);
+        let s = doc.to_string();
+        let reparsed = parse(&s).unwrap();
+        assert_eq!(reparsed.to_string(), s, "writer output must round-trip byte-for-byte");
+    }
+
+    #[test]
+    fn parse_classifies_numbers_like_the_writer() {
+        assert_eq!(parse("7").unwrap(), Json::UInt(7));
+        assert_eq!(parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(parse("7.5").unwrap(), Json::Float(7.5));
+        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
+        // Too large for i64: falls back to float rather than erroring.
+        assert!(matches!(parse("-99999999999999999999").unwrap(), Json::Float(_)));
+        assert_eq!(parse("18446744073709551615").unwrap(), Json::UInt(u64::MAX));
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_surrogates() {
+        assert_eq!(parse(r#""é\t\/""#).unwrap(), Json::str("é\t/"));
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::str("😀"));
+        assert!(parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(parse(r#""\ude00""#).is_err(), "lone low surrogate");
+        assert!(parse(r#""\ud83dA""#).is_err(), "bad low surrogate");
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        for doc in ["", "{", "[1,]", "{\"a\":}", "01", "1.", "nulL", "[1] extra"] {
+            assert!(parse(doc).is_err(), "accepted: {doc:?}");
+        }
+        let deep = format!("{}1{}", "[".repeat(500), "]".repeat(500));
+        assert!(parse(&deep).is_err(), "deep nesting must be bounded");
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_but_round_trip_is_canonical() {
+        let doc = parse("  { \"a\" : [ 1 , 2 ] }  ").unwrap();
+        assert_eq!(doc.to_string(), "{\"a\":[1,2]}");
     }
 }

@@ -1,4 +1,4 @@
-//! The deterministic parallel execution engine.
+//! The deterministic, crash-safe parallel execution engine.
 //!
 //! Grid points are fully independent simulations — no shared mutable
 //! state, seeds fixed at plan-load time — so parallelism is a pure
@@ -8,102 +8,383 @@
 //! affects wall-clock time only: `run_sweep(plan, 1)` and
 //! `run_sweep(plan, 8)` produce byte-identical reports (a contract
 //! enforced by `tests/sweep_identity.rs`).
+//!
+//! On top of that PR-4 contract this engine layers the crash-safety
+//! model (DESIGN.md §13):
+//!
+//! * **Failure isolation** — a point that panics or returns an error is
+//!   caught at the worker boundary ([`std::panic::catch_unwind`]),
+//!   retried with the deterministic capped backoff discipline shared
+//!   with `csim-fault` ([`RetryPolicy`]), and, once the budget is
+//!   exhausted, recorded as a structured [`PointFailure`] entry in the
+//!   report instead of aborting the sweep.
+//! * **Sharding** — a [`Shard`] restricts execution to a deterministic
+//!   round-robin slice of the grid; [`SweepOutcome::to_shard_json`]
+//!   emits a `csim-sweep-shard/v1` document that
+//!   [`crate::merge_shard_docs`] reassembles into the byte-identical
+//!   full report.
+//! * **Checkpointing** — with [`SweepConfig::checkpoint`] set, every
+//!   completed point is appended to a CRC-guarded log; a restarted
+//!   sweep skips completed points and still emits a report
+//!   byte-identical to an uninterrupted run (see [`crate::checkpoint`]).
+//! * **Straggler watchdog** — with [`SweepConfig::time_points`] on,
+//!   per-point wall times are collected through `csim-obs`'s
+//!   [`PhaseProfile`] machinery and points slower than
+//!   [`SweepConfig::straggler_mult`] × the median are flagged. All
+//!   timing is opt-in: when off, no clock is ever read and the engine
+//!   is fully deterministic.
 
 use std::collections::VecDeque;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use csim_core::{run_report_json, SimReport, Simulation};
+use csim_core::{run_report_json, Simulation};
+use csim_fault::RetryPolicy;
 use csim_obs::json::Json;
-use csim_obs::{version_string, RunManifest};
+use csim_obs::{version_string, PhaseProfile, RunManifest};
 use csim_workload::OltpParams;
 
+use crate::checkpoint::CheckpointLog;
 use crate::grid::RunSpec;
 use crate::plan::{integration_short_name, SweepError, SweepPlan};
+use crate::shard::Shard;
 
 /// Schema tag written into every merged sweep report, bumped on breaking
 /// layout changes so downstream readers can dispatch.
 pub const SWEEP_REPORT_SCHEMA: &str = "csim-sweep-report/v1";
 
-/// The result of one grid point.
+/// Schema tag of a single shard's report (`--shard k/N --json-report`),
+/// consumed by `csim --sweep-merge`.
+pub const SWEEP_SHARD_SCHEMA: &str = "csim-sweep-shard/v1";
+
+/// The paper-style headline numbers of one run, carried alongside the
+/// full report document so the CLI table (and the checkpoint log) do
+/// not need the whole `SimReport`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunSummary {
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// L2 misses per thousand instructions.
+    pub mpki: f64,
+    /// Total L2 misses.
+    pub l2_misses: u64,
+    /// Completed transactions.
+    pub transactions: u64,
+}
+
+/// The result of one successfully executed grid point.
 #[derive(Clone, Debug)]
 pub struct RunOutcome {
-    /// The grid point that was run.
-    pub spec: RunSpec,
-    /// Its simulation counters.
-    pub report: SimReport,
+    /// Position of this point in [`SweepPlan::expand`] order.
+    pub index: usize,
+    /// The point's stable label (`RunSpec::label`).
+    pub label: String,
+    /// The workload seed the point ran with.
+    pub seed: u64,
+    /// Headline numbers for the CLI table.
+    pub summary: RunSummary,
     /// Its full `csim-run-report/v1` document (no profile section, so
     /// the bytes are deterministic).
     pub doc: Json,
 }
 
-/// A completed sweep: the plan and one outcome per grid point, in grid
-/// order.
+/// A grid point that kept failing after every retry: the structured
+/// report entry that replaces its run document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PointFailure {
+    /// Position of this point in [`SweepPlan::expand`] order.
+    pub index: usize,
+    /// The point's stable label.
+    pub label: String,
+    /// The workload seed the point would have run with.
+    pub seed: u64,
+    /// Attempts made (the first try plus every retry).
+    pub attempts: u32,
+    /// The last attempt's error or panic message.
+    pub error: String,
+}
+
+/// One grid point's outcome: a completed run or a structured failure.
+#[derive(Clone, Debug)]
+pub enum PointOutcome {
+    /// The point simulated successfully.
+    Run(RunOutcome),
+    /// The point exhausted its retry budget.
+    Failed(PointFailure),
+}
+
+impl PointOutcome {
+    /// The point's grid index.
+    pub fn index(&self) -> usize {
+        match self {
+            PointOutcome::Run(r) => r.index,
+            PointOutcome::Failed(f) => f.index,
+        }
+    }
+
+    /// The point's stable label.
+    pub fn label(&self) -> &str {
+        match self {
+            PointOutcome::Run(r) => &r.label,
+            PointOutcome::Failed(f) => &f.label,
+        }
+    }
+
+    /// The point's workload seed.
+    pub fn seed(&self) -> u64 {
+        match self {
+            PointOutcome::Run(r) => r.seed,
+            PointOutcome::Failed(f) => f.seed,
+        }
+    }
+
+    /// The run outcome, if the point completed.
+    pub fn as_run(&self) -> Option<&RunOutcome> {
+        match self {
+            PointOutcome::Run(r) => Some(r),
+            PointOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure record, if the point failed.
+    pub fn failure(&self) -> Option<&PointFailure> {
+        match self {
+            PointOutcome::Run(_) => None,
+            PointOutcome::Failed(f) => Some(f),
+        }
+    }
+
+    /// The report entry for this point. `with_index` adds the grid
+    /// index (shard documents and checkpoint records need it; the
+    /// merged report keys on array position instead).
+    pub(crate) fn entry_json(&self, with_index: bool) -> Json {
+        let mut entry = Json::Obj(Vec::new());
+        if with_index {
+            entry.push("index", Json::UInt(self.index() as u64));
+        }
+        entry.push("label", Json::str(self.label()));
+        entry.push("seed", Json::UInt(self.seed()));
+        match self {
+            PointOutcome::Run(r) => entry.push("run", r.doc.clone()),
+            PointOutcome::Failed(f) => entry.push(
+                "failed",
+                Json::obj([
+                    ("attempts", Json::UInt(u64::from(f.attempts))),
+                    ("error", Json::str(&f.error)),
+                ]),
+            ),
+        }
+        entry
+    }
+}
+
+/// How a sweep executes: worker count, shard slice, checkpoint log,
+/// retry discipline, and the opt-in wall-clock instrumentation.
+/// [`SweepConfig::default`] reproduces the plain `run_sweep(plan, 1)`
+/// behavior: one worker, whole grid, no checkpoint, no clocks.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Worker threads (>= 1). Never affects report bytes.
+    pub jobs: usize,
+    /// Restrict execution to one round-robin slice of the grid.
+    pub shard: Option<Shard>,
+    /// Append each completed point to this CRC-guarded log and skip
+    /// points the log already records.
+    pub checkpoint: Option<String>,
+    /// Per-point retry discipline (shared with `csim-fault`): a failing
+    /// point is retried `max_retries` times with capped exponential
+    /// backoff, `RetryPolicy::backoff(attempt)` read in milliseconds.
+    pub retry: RetryPolicy,
+    /// Measure per-point wall time through [`PhaseProfile`]. Off by
+    /// default so the engine never reads a clock.
+    pub time_points: bool,
+    /// Flag executed points slower than this multiple of the median
+    /// point wall time (requires [`SweepConfig::time_points`]).
+    pub straggler_mult: Option<f64>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            jobs: 1,
+            shard: None,
+            checkpoint: None,
+            retry: default_retry_policy(),
+            time_points: false,
+            straggler_mult: None,
+        }
+    }
+}
+
+/// The sweep retry discipline: the same capped-exponential-backoff
+/// shape `csim-fault` applies to NACKed directory transactions, scaled
+/// for host-level transients (milliseconds, small budget). Points are
+/// deterministic, so a persistent failure recurs on every attempt and
+/// the budget exists to ride out transient host trouble, not to make
+/// broken configurations pass.
+fn default_retry_policy() -> RetryPolicy {
+    RetryPolicy { max_retries: 2, backoff_base: 10, exponential: true, backoff_cap: 1000 }
+}
+
+/// One executed point's wall-clock cost (only collected when
+/// [`SweepConfig::time_points`] is set).
+#[derive(Clone, Debug)]
+pub struct PointTiming {
+    /// The point's grid index.
+    pub index: usize,
+    /// The point's stable label.
+    pub label: String,
+    /// Wall milliseconds the point took (including retries).
+    pub millis: f64,
+    /// Simulated references per wall millisecond — equivalently
+    /// thousands of refs per second — for spotting slow configurations.
+    pub krefs_per_sec: f64,
+}
+
+/// Wall-clock statistics of the executed points, with stragglers
+/// flagged against the median.
+#[derive(Clone, Debug)]
+pub struct SweepTiming {
+    /// Executed points in grid order (resumed points have no timing).
+    pub points: Vec<PointTiming>,
+    /// Median point wall milliseconds.
+    pub median_millis: f64,
+    /// Grid indices of points at or above the straggler threshold.
+    pub stragglers: Vec<usize>,
+}
+
+impl SweepTiming {
+    /// The timing block as a `PhaseProfile` — one phase per point, in
+    /// grid order — so sweep reports reuse the run-report profile
+    /// machinery (and inherit its "nondeterministic by nature, off by
+    /// default" contract).
+    pub fn to_profile(&self) -> PhaseProfile {
+        let mut profile = PhaseProfile::new();
+        for p in &self.points {
+            profile.push(&p.label, p.millis);
+        }
+        profile
+    }
+}
+
+/// A completed sweep: the plan and one outcome per selected grid point,
+/// in grid order.
 #[derive(Clone, Debug)]
 pub struct SweepOutcome {
     /// The plan that was swept.
     pub plan: SweepPlan,
-    /// One outcome per grid point, in [`SweepPlan::expand`] order.
-    pub runs: Vec<RunOutcome>,
+    /// The slice that executed (`None` = the whole grid).
+    pub shard: Option<Shard>,
+    /// One outcome per selected grid point, in [`SweepPlan::expand`]
+    /// order.
+    pub points: Vec<PointOutcome>,
+    /// Points restored from the checkpoint log instead of re-executed.
+    pub resumed: usize,
+    /// Recoverable problems encountered on the way (checkpoint damage
+    /// that was detected and skipped, checkpoint writes that failed).
+    /// The sweep's results are complete despite them.
+    pub warnings: Vec<SweepError>,
+    /// Wall-clock statistics (only with [`SweepConfig::time_points`]).
+    pub timing: Option<SweepTiming>,
+}
+
+/// The deterministic plan echo shared by the merged report, the shard
+/// report, and the checkpoint-binding fingerprint.
+pub(crate) fn plan_json(plan: &SweepPlan) -> Json {
+    let strs = |it: Vec<String>| Json::Arr(it.into_iter().map(Json::Str).collect());
+    Json::obj([
+        ("name", Json::str(&plan.name)),
+        ("warm_refs_per_node", Json::UInt(plan.warm)),
+        ("meas_refs_per_node", Json::UInt(plan.meas)),
+        ("l2_dram", Json::Bool(plan.dram)),
+        ("rac", Json::Bool(plan.rac)),
+        ("replicate_instructions", Json::Bool(plan.replicate)),
+        ("out_of_order", Json::Bool(plan.ooo)),
+        (
+            "integration",
+            strs(plan
+                .integration
+                .iter()
+                .map(|&l| integration_short_name(l).to_string())
+                .collect()),
+        ),
+        ("l2", strs(plan.l2.iter().map(|s| s.label.clone()).collect())),
+        ("nodes", Json::Arr(plan.nodes.iter().map(|&n| Json::UInt(n as u64)).collect())),
+        ("cores", Json::Arr(plan.cores.iter().map(|&c| Json::UInt(c as u64)).collect())),
+        ("seeds", Json::Arr(plan.seeds.iter().map(|&s| Json::UInt(s)).collect())),
+        ("run_count", Json::UInt(plan.run_count() as u64)),
+    ])
+}
+
+/// FNV-1a over the canonical plan echo: a cheap deterministic
+/// fingerprint binding checkpoint logs and shard reports to the exact
+/// grid they were produced from.
+pub fn plan_fingerprint(plan: &SweepPlan) -> String {
+    let bytes = plan_json(plan).to_string();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes.as_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
 }
 
 impl SweepOutcome {
     /// The merged `csim-sweep-report/v1` document. Deliberately echoes
-    /// the plan but *not* the worker count: the report must be
-    /// byte-identical whatever parallelism produced it.
+    /// the plan but *not* the worker count, checkpoint path, or wall
+    /// clock: the report must be byte-identical whatever parallelism,
+    /// interruptions, or resumptions produced it.
     pub fn to_json(&self) -> Json {
-        let plan = &self.plan;
-        let strs = |it: Vec<String>| Json::Arr(it.into_iter().map(Json::Str).collect());
-        let plan_doc = Json::obj([
-            ("name", Json::str(&plan.name)),
-            ("warm_refs_per_node", Json::UInt(plan.warm)),
-            ("meas_refs_per_node", Json::UInt(plan.meas)),
-            ("l2_dram", Json::Bool(plan.dram)),
-            ("rac", Json::Bool(plan.rac)),
-            ("replicate_instructions", Json::Bool(plan.replicate)),
-            ("out_of_order", Json::Bool(plan.ooo)),
-            (
-                "integration",
-                strs(plan
-                    .integration
-                    .iter()
-                    .map(|&l| integration_short_name(l).to_string())
-                    .collect()),
-            ),
-            ("l2", strs(plan.l2.iter().map(|s| s.label.clone()).collect())),
-            ("nodes", Json::Arr(plan.nodes.iter().map(|&n| Json::UInt(n as u64)).collect())),
-            ("cores", Json::Arr(plan.cores.iter().map(|&c| Json::UInt(c as u64)).collect())),
-            ("seeds", Json::Arr(plan.seeds.iter().map(|&s| Json::UInt(s)).collect())),
-            ("run_count", Json::UInt(self.runs.len() as u64)),
-        ]);
-        let runs = self
-            .runs
-            .iter()
-            .map(|r| {
-                Json::obj([
-                    ("label", Json::str(r.spec.label())),
-                    ("seed", Json::UInt(r.spec.seed)),
-                    ("run", r.doc.clone()),
-                ])
-            })
-            .collect();
         Json::obj([
             ("schema", Json::str(SWEEP_REPORT_SCHEMA)),
-            ("plan", plan_doc),
-            ("runs", Json::Arr(runs)),
+            ("plan", plan_json(&self.plan)),
+            (
+                "runs",
+                Json::Arr(self.points.iter().map(|p| p.entry_json(false)).collect()),
+            ),
         ])
+    }
+
+    /// The `csim-sweep-shard/v1` document for this shard's slice:
+    /// the full-plan echo and fingerprint (so `--sweep-merge` can
+    /// refuse mismatched shards) plus this shard's point entries,
+    /// each carrying its grid index.
+    pub fn to_shard_json(&self) -> Json {
+        let shard = self.shard.unwrap_or(Shard { index: 0, count: 1 });
+        Json::obj([
+            ("schema", Json::str(SWEEP_SHARD_SCHEMA)),
+            ("plan_fingerprint", Json::str(plan_fingerprint(&self.plan))),
+            (
+                "shard",
+                Json::obj([
+                    ("index", Json::UInt(u64::from(shard.index))),
+                    ("count", Json::UInt(u64::from(shard.count))),
+                ]),
+            ),
+            ("plan", plan_json(&self.plan)),
+            (
+                "points",
+                Json::Arr(self.points.iter().map(|p| p.entry_json(true)).collect()),
+            ),
+        ])
+    }
+
+    /// The failed points, in grid order.
+    pub fn failures(&self) -> impl Iterator<Item = &PointFailure> {
+        self.points.iter().filter_map(PointOutcome::failure)
     }
 }
 
 /// A poisoned sweep mutex only means another worker failed while holding
-/// it; the protected data (an index queue / result slots) is still
-/// consistent, so recover the guard instead of propagating a panic.
+/// it; the protected data (an index queue / result slots / a checkpoint
+/// writer) is still consistent, so recover the guard instead of
+/// propagating a panic.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Executes one grid point: build the configuration, build the workload,
 /// warm up, measure, and export the per-run report document.
-fn execute(spec: &RunSpec) -> Result<RunOutcome, SweepError> {
+fn execute(index: usize, spec: &RunSpec) -> Result<RunOutcome, SweepError> {
     let cfg = spec.build_config()?;
     let params = OltpParams { seed: spec.seed, ..OltpParams::default() };
     let mut sim = Simulation::with_oltp(&cfg, params)
@@ -133,56 +414,246 @@ fn execute(spec: &RunSpec) -> Result<RunOutcome, SweepError> {
     // `profile: None` keeps the per-run document wall-clock-free and
     // therefore byte-stable.
     let doc = run_report_json(&report, sim.observer(), &manifest, None);
-    Ok(RunOutcome { spec: spec.clone(), report, doc })
+    let summary = RunSummary {
+        cpi: report.breakdown.cpi(),
+        mpki: report.mpki(),
+        l2_misses: report.misses.total(),
+        transactions: report.transactions,
+    };
+    Ok(RunOutcome { index, label: spec.label(), seed: spec.seed, summary, doc })
+}
+
+/// The worker function a sweep drives: everything needed to produce one
+/// grid point's [`RunOutcome`]. `run_sweep_with` accepts any executor so
+/// tests can inject failing or panicking points and so synthetic
+/// workloads can reuse the scheduling/checkpoint/shard machinery.
+pub type PointExecutor<'a> =
+    dyn Fn(usize, &RunSpec) -> Result<RunOutcome, SweepError> + Sync + 'a;
+
+/// Renders a caught panic payload into the structured failure entry's
+/// message. `panic!` with a string (the overwhelmingly common case)
+/// surfaces verbatim; anything else is named as such.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
+}
+
+/// Runs one point to a [`PointOutcome`], never panicking and never
+/// returning an error: panics and `Err`s are caught at this boundary,
+/// retried per `retry` (backoff read as milliseconds), and finally
+/// recorded as a structured [`PointFailure`].
+fn run_point(
+    exec: &PointExecutor<'_>,
+    index: usize,
+    spec: &RunSpec,
+    retry: &RetryPolicy,
+) -> PointOutcome {
+    let mut attempts = 0u32;
+    loop {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec(index, spec)));
+        let error = match caught {
+            Ok(Ok(outcome)) => return PointOutcome::Run(outcome),
+            Ok(Err(e)) => e.to_string(),
+            Err(payload) => panic_message(payload.as_ref()),
+        };
+        attempts += 1;
+        if attempts > retry.max_retries {
+            return PointOutcome::Failed(PointFailure {
+                index,
+                label: spec.label(),
+                seed: spec.seed,
+                attempts,
+                error,
+            });
+        }
+        // Same backoff discipline as csim-fault's NACK path, read in
+        // milliseconds; the schedule is deterministic even though the
+        // sleep itself obviously is not (it never reaches the report).
+        let backoff = retry.backoff(attempts - 1);
+        if backoff > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(backoff));
+        }
+    }
 }
 
 /// Runs every grid point of the plan on `jobs` workers and merges the
-/// outcomes in grid order.
-///
-/// `jobs == 1` executes serially on the calling thread (no pool, no
-/// locking); `jobs > 1` uses `std::thread::scope` workers over a shared
-/// job queue. Both paths return identical results — parallelism never
-/// leaks into the output.
+/// outcomes in grid order (the [`SweepConfig::default`] behavior of
+/// [`run_sweep_cfg`]).
 ///
 /// # Errors
 ///
-/// [`SweepError::Run`] for the lowest-index grid point that failed;
-/// remaining runs may or may not have executed.
+/// Plan validation errors only. Point failures no longer abort the
+/// sweep; they surface as [`PointFailure`] entries in the outcome.
 pub fn run_sweep(plan: &SweepPlan, jobs: usize) -> Result<SweepOutcome, SweepError> {
+    run_sweep_cfg(plan, &SweepConfig { jobs, ..SweepConfig::default() })
+}
+
+/// Runs a sweep with the full crash-safety configuration: sharding,
+/// checkpointing, retry policy, and the straggler watchdog.
+///
+/// # Errors
+///
+/// Plan/config validation errors, and hard checkpoint errors (an
+/// unreadable log file, or a log recorded by a different plan or
+/// shard). Recoverable checkpoint damage and point failures do not
+/// abort the sweep — see [`SweepOutcome::warnings`] and
+/// [`SweepOutcome::failures`].
+pub fn run_sweep_cfg(plan: &SweepPlan, cfg: &SweepConfig) -> Result<SweepOutcome, SweepError> {
+    run_sweep_with(plan, cfg, &execute)
+}
+
+/// [`run_sweep_cfg`] with an injected point executor (the test seam for
+/// panic isolation and checkpoint property tests).
+///
+/// # Errors
+///
+/// As [`run_sweep_cfg`].
+pub fn run_sweep_with(
+    plan: &SweepPlan,
+    cfg: &SweepConfig,
+    exec: &PointExecutor<'_>,
+) -> Result<SweepOutcome, SweepError> {
     plan.validate()?;
-    let specs = plan.expand();
-    let results = if jobs <= 1 || specs.len() <= 1 {
-        let mut results = Vec::with_capacity(specs.len());
-        for spec in &specs {
-            results.push(Some(execute(spec)));
+    if cfg.jobs == 0 {
+        return Err(SweepError::Invalid {
+            field: "config.jobs",
+            message: "at least one worker is required".to_string(),
+        });
+    }
+    if let Some(shard) = cfg.shard {
+        if shard.count == 0 || shard.index >= shard.count {
+            return Err(SweepError::Invalid {
+                field: "config.shard",
+                message: format!("shard {shard} is out of range"),
+            });
         }
-        results
-    } else {
+    }
+    if cfg.straggler_mult.is_some() && !cfg.time_points {
+        return Err(SweepError::Invalid {
+            field: "config.straggler_mult",
+            message: "the straggler watchdog needs time_points enabled".to_string(),
+        });
+    }
+
+    let specs = plan.expand();
+    let selection: Vec<(usize, &RunSpec)> = specs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| cfg.shard.is_none_or(|s| s.owns(*i)))
+        .collect();
+
+    // Resume: load (and compact) the checkpoint log, keeping the writer
+    // open for the points still to run.
+    let mut warnings = Vec::new();
+    let mut restored: Vec<Option<PointOutcome>> = (0..specs.len()).map(|_| None).collect();
+    let log = match &cfg.checkpoint {
+        None => None,
+        Some(path) => {
+            let loaded = CheckpointLog::open(path, plan, cfg.shard)?;
+            warnings.extend(loaded.damage);
+            for point in loaded.points {
+                let idx = point.index();
+                // Only trust records for points this shard selects; the
+                // header binds shard identity, so anything else is a
+                // stale artifact of earlier damage.
+                if selection.iter().any(|(i, _)| *i == idx) {
+                    restored[idx] = Some(point);
+                }
+            }
+            Some(Mutex::new(loaded.log))
+        }
+    };
+    let resumed = restored.iter().filter(|p| p.is_some()).count();
+
+    let to_run: Vec<(usize, &RunSpec)> =
+        selection.iter().copied().filter(|(i, _)| restored[*i].is_none()).collect();
+
+    // Execute. Results (and optional wall times) park in index slots so
+    // scheduling order can never reach the report.
+    type Slot = Option<(PointOutcome, Option<f64>)>;
+    let slots: Mutex<Vec<Slot>> = Mutex::new((0..specs.len()).map(|_| None).collect());
+    let checkpoint_warnings: Mutex<Vec<SweepError>> = Mutex::new(Vec::new());
+    if !to_run.is_empty() {
         let queue: Mutex<VecDeque<(usize, &RunSpec)>> =
-            Mutex::new(specs.iter().enumerate().collect());
-        let slots: Mutex<Vec<Option<Result<RunOutcome, SweepError>>>> =
-            Mutex::new((0..specs.len()).map(|_| None).collect());
+            Mutex::new(to_run.iter().copied().collect());
+        let workers = cfg.jobs.min(to_run.len());
         std::thread::scope(|scope| {
-            for _ in 0..jobs.min(specs.len()) {
+            for _ in 0..workers {
                 scope.spawn(|| loop {
                     let job = lock(&queue).pop_front();
                     let Some((idx, spec)) = job else { break };
-                    let outcome = execute(spec);
-                    lock(&slots)[idx] = Some(outcome);
+                    let (outcome, millis) = if cfg.time_points {
+                        let mut profile = PhaseProfile::new();
+                        let outcome =
+                            profile.time("point", || run_point(exec, idx, spec, &cfg.retry));
+                        (outcome, Some(profile.total_millis()))
+                    } else {
+                        (run_point(exec, idx, spec, &cfg.retry), None)
+                    };
+                    if let Some(log) = &log {
+                        let mut guard = lock(log);
+                        if let Err(e) = guard.append(&outcome) {
+                            // A failing checkpoint disk must not kill the
+                            // sweep: disable further writes, surface the
+                            // error once, and keep computing.
+                            guard.disable();
+                            lock(&checkpoint_warnings).push(e);
+                        }
+                    }
+                    lock(&slots)[idx] = Some((outcome, millis));
                 });
             }
         });
-        slots.into_inner().unwrap_or_else(PoisonError::into_inner)
-    };
-    let mut runs = Vec::with_capacity(specs.len());
-    for (spec, slot) in specs.iter().zip(results) {
-        let outcome = slot.ok_or_else(|| SweepError::Run {
+    }
+    warnings.extend(lock(&checkpoint_warnings).drain(..));
+
+    // Assemble in grid order from restored and freshly executed slots.
+    let mut slots = slots.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let mut points = Vec::with_capacity(selection.len());
+    let mut timings: Vec<PointTiming> = Vec::new();
+    for &(idx, spec) in &selection {
+        if let Some(point) = restored[idx].take() {
+            points.push(point);
+            continue;
+        }
+        let (outcome, millis) = slots[idx].take().ok_or_else(|| SweepError::Run {
             label: spec.label(),
             message: "worker exited without recording a result".to_string(),
-        })??;
-        runs.push(outcome);
+        })?;
+        if let Some(millis) = millis {
+            let total_refs = (spec.warm + spec.meas) * spec.nodes as u64;
+            timings.push(PointTiming {
+                index: idx,
+                label: outcome.label().to_string(),
+                millis,
+                // refs per wall millisecond == thousands of refs/sec.
+                krefs_per_sec: if millis > 0.0 { total_refs as f64 / millis } else { 0.0 },
+            });
+        }
+        points.push(outcome);
     }
-    Ok(SweepOutcome { plan: plan.clone(), runs })
+
+    let timing = cfg.time_points.then(|| {
+        let mut sorted: Vec<f64> = timings.iter().map(|t| t.millis).collect();
+        sorted.sort_by(f64::total_cmp);
+        let median_millis = if sorted.is_empty() { 0.0 } else { sorted[sorted.len() / 2] };
+        let stragglers = match cfg.straggler_mult {
+            Some(mult) if median_millis > 0.0 => timings
+                .iter()
+                .filter(|t| t.millis >= mult * median_millis)
+                .map(|t| t.index)
+                .collect(),
+            _ => Vec::new(),
+        };
+        SweepTiming { points: timings, median_millis, stragglers }
+    });
+
+    Ok(SweepOutcome { plan: plan.clone(), shard: cfg.shard, points, resumed, warnings, timing })
 }
 
 #[cfg(test)]
@@ -194,25 +665,37 @@ mod tests {
         SweepPlan {
             name: "engine-test".to_string(),
             warm: 2_000,
-            meas: 3_000,
+            meas: 5_000,
             integration: vec![IntegrationLevel::Base, IntegrationLevel::L2Integrated],
             seeds: vec![42, 43],
             ..SweepPlan::default()
         }
     }
 
+    /// A retry policy that never sleeps, for failure-path tests.
+    fn instant_retry(max_retries: u32) -> RetryPolicy {
+        RetryPolicy { max_retries, backoff_base: 0, exponential: false, backoff_cap: 0 }
+    }
+
     #[test]
     fn serial_sweep_runs_every_grid_point_in_order() {
         let plan = small_plan();
         let out = run_sweep(&plan, 1).unwrap();
-        assert_eq!(out.runs.len(), 4);
-        let labels: Vec<String> = out.runs.iter().map(|r| r.spec.label()).collect();
+        assert_eq!(out.points.len(), 4);
+        let labels: Vec<&str> = out.points.iter().map(PointOutcome::label).collect();
         assert_eq!(
             labels,
             ["base/8M1w/1n1c/s0", "base/8M1w/1n1c/s1", "l2/2M8w/1n1c/s0", "l2/2M8w/1n1c/s1"]
         );
-        for r in &out.runs {
-            assert!(r.report.breakdown.instructions > 0);
+        assert_eq!(out.resumed, 0);
+        assert!(out.warnings.is_empty());
+        assert!(out.timing.is_none(), "no clock reads unless asked");
+        for p in &out.points {
+            // Runs this short complete no whole transaction; the other
+            // summary channels must still be live.
+            let r = p.as_run().expect("all points succeed");
+            assert!(r.summary.cpi > 0.0);
+            assert!(r.summary.l2_misses > 0);
         }
     }
 
@@ -234,28 +717,155 @@ mod tests {
         plan.integration = vec![IntegrationLevel::Base];
         plan.seeds = vec![7];
         let out = run_sweep(&plan, 64).unwrap();
-        assert_eq!(out.runs.len(), 1);
+        assert_eq!(out.points.len(), 1);
     }
 
     #[test]
-    fn failing_grid_points_surface_the_lowest_index_error() {
+    fn failing_grid_points_become_structured_entries_not_aborts() {
         let mut plan = small_plan();
         // A 64 MB on-chip SRAM L2 cannot build at the l2 level; the base
         // (off-chip) runs are fine.
         plan.l2 = vec![crate::plan::L2Spec::parse("64M8w").unwrap()];
-        let err = run_sweep(&plan, 2).unwrap_err();
-        assert!(matches!(err, SweepError::Run { .. }), "{err}");
-        assert!(err.to_string().contains("l2/64M8w"), "{err}");
+        let cfg = SweepConfig { jobs: 2, retry: instant_retry(1), ..SweepConfig::default() };
+        let out = run_sweep_cfg(&plan, &cfg).unwrap();
+        assert_eq!(out.points.len(), 4);
+        let failures: Vec<&PointFailure> = out.failures().collect();
+        assert_eq!(failures.len(), 2, "both l2-level points fail to build");
+        assert!(failures[0].label.starts_with("l2/64M8w"), "{}", failures[0].label);
+        assert_eq!(failures[0].attempts, 2, "one try plus one retry");
+        assert!(failures[0].error.contains("l2"), "{}", failures[0].error);
+        // The base points still completed.
+        assert_eq!(out.points.iter().filter(|p| p.as_run().is_some()).count(), 2);
+        // And the failure is a structured report entry.
+        let report = out.to_json().to_string();
+        assert!(report.contains("\"failed\":{\"attempts\":2"), "{report}");
+        csim_obs::json::validate(&report).unwrap();
+    }
+
+    #[test]
+    fn panicking_points_are_isolated_and_recorded() {
+        let plan = small_plan();
+        let poison = "base/8M1w/1n1c/s1";
+        let exec = |index: usize, spec: &RunSpec| {
+            if spec.label() == poison {
+                panic!("deliberate test panic");
+            }
+            execute(index, spec)
+        };
+        let cfg = SweepConfig { jobs: 3, retry: instant_retry(2), ..SweepConfig::default() };
+        let out = run_sweep_with(&plan, &cfg, &exec).unwrap();
+        assert_eq!(out.points.len(), 4);
+        let failure = out.failures().next().expect("the poisoned point fails");
+        assert_eq!(failure.label, poison);
+        assert_eq!(failure.attempts, 3);
+        assert_eq!(failure.error, "panicked: deliberate test panic");
+        assert_eq!(out.points.iter().filter(|p| p.as_run().is_some()).count(), 3);
+    }
+
+    #[test]
+    fn retries_can_ride_out_transient_failures() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let plan = small_plan();
+        let flaky_attempts = AtomicU32::new(0);
+        let exec = |index: usize, spec: &RunSpec| {
+            if spec.label() == "l2/2M8w/1n1c/s0"
+                && flaky_attempts.fetch_add(1, Ordering::SeqCst) < 2
+            {
+                return Err(SweepError::Run {
+                    label: spec.label(),
+                    message: "transient".to_string(),
+                });
+            }
+            execute(index, spec)
+        };
+        let cfg = SweepConfig { retry: instant_retry(2), ..SweepConfig::default() };
+        let out = run_sweep_with(&plan, &cfg, &exec).unwrap();
+        assert_eq!(out.failures().count(), 0, "two retries absorb two transient failures");
+        assert_eq!(flaky_attempts.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn sharded_runs_partition_the_grid_and_merge_back() {
+        let plan = small_plan();
+        let full = run_sweep(&plan, 2).unwrap();
+        let mut seen: Vec<usize> = Vec::new();
+        for index in 0..3u32 {
+            let cfg = SweepConfig {
+                shard: Some(Shard { index, count: 3 }),
+                jobs: 2,
+                ..SweepConfig::default()
+            };
+            let out = run_sweep_cfg(&plan, &cfg).unwrap();
+            for p in &out.points {
+                assert_eq!(p.index() % 3, index as usize);
+                seen.push(p.index());
+            }
+            let doc = out.to_shard_json().to_string();
+            assert!(doc.contains("\"schema\":\"csim-sweep-shard/v1\""));
+            csim_obs::json::validate(&doc).unwrap();
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..full.points.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn watchdog_timing_is_collected_and_median_is_sane() {
+        let mut plan = small_plan();
+        plan.integration = vec![IntegrationLevel::Base];
+        let cfg = SweepConfig {
+            time_points: true,
+            straggler_mult: Some(1_000_000.0),
+            ..SweepConfig::default()
+        };
+        let out = run_sweep_cfg(&plan, &cfg).unwrap();
+        let timing = out.timing.as_ref().expect("timing requested");
+        assert_eq!(timing.points.len(), 2);
+        assert!(timing.median_millis > 0.0);
+        assert!(timing.stragglers.is_empty(), "nothing is a million-fold straggler");
+        assert_eq!(timing.to_profile().phases().len(), 2);
+        // Timing never reaches the deterministic report.
+        let report = out.to_json().to_string();
+        assert!(!report.contains("millis"), "wall clock leaked into the report");
+    }
+
+    #[test]
+    fn straggler_mult_without_timing_is_rejected() {
+        let cfg = SweepConfig { straggler_mult: Some(2.0), ..SweepConfig::default() };
+        let err = run_sweep_cfg(&small_plan(), &cfg).unwrap_err();
+        assert!(matches!(err, SweepError::Invalid { field: "config.straggler_mult", .. }), "{err}");
+    }
+
+    #[test]
+    fn zero_jobs_and_bad_shards_are_rejected() {
+        let cfg = SweepConfig { jobs: 0, ..SweepConfig::default() };
+        assert!(run_sweep_cfg(&small_plan(), &cfg).is_err());
+        let cfg = SweepConfig {
+            shard: Some(Shard { index: 5, count: 2 }),
+            ..SweepConfig::default()
+        };
+        assert!(run_sweep_cfg(&small_plan(), &cfg).is_err());
     }
 
     #[test]
     fn distinct_seeds_produce_distinct_reports() {
         let plan = small_plan();
         let out = run_sweep(&plan, 2).unwrap();
+        let runs: Vec<&RunOutcome> =
+            out.points.iter().filter_map(PointOutcome::as_run).collect();
         assert_ne!(
-            out.runs[0].report.breakdown.busy_cycles,
-            out.runs[1].report.breakdown.busy_cycles,
-            "different seeds should not produce identical cycle counts"
+            runs[0].doc.to_string(),
+            runs[1].doc.to_string(),
+            "different seeds should not produce identical reports"
         );
+    }
+
+    #[test]
+    fn plan_fingerprint_tracks_the_grid() {
+        let a = plan_fingerprint(&small_plan());
+        assert_eq!(a, plan_fingerprint(&small_plan()));
+        let mut other = small_plan();
+        other.seeds.push(99);
+        assert_ne!(a, plan_fingerprint(&other));
+        assert_eq!(a.len(), 16);
     }
 }

@@ -1,4 +1,4 @@
-//! Deterministic parallel sweep engine.
+//! Deterministic, crash-safe parallel sweep engine.
 //!
 //! Paper-style evaluations are grids: integration levels × cache
 //! geometries × node counts × seeds, every point an independent
@@ -15,8 +15,28 @@
 //!   merged [`SweepOutcome::to_json`] report is byte-identical for any
 //!   worker count (enforced by `tests/sweep_identity.rs`).
 //!
-//! The `csim --sweep plan.toml --jobs N` front end drives this crate;
-//! `examples/fig09_sweep.toml` shows the dialect.
+//! At the 10^4–10^5-point scale of the design-space studies, a sweep
+//! must also survive its host ([`run_sweep_cfg`] with [`SweepConfig`],
+//! DESIGN.md §13):
+//!
+//! * **Sharding** — [`Shard`] splits the grid round-robin across
+//!   processes/machines; each shard emits a `csim-sweep-shard/v1`
+//!   document and [`merge_shard_docs`] reassembles the byte-identical
+//!   full report.
+//! * **Checkpointing** — a CRC-guarded append-only log records each
+//!   completed point; a killed sweep resumes past it, detecting (never
+//!   silently trusting) truncated or corrupted records, and still
+//!   produces byte-identical output.
+//! * **Failure isolation** — a panicking or erroring point is caught at
+//!   the worker boundary, retried with `csim-fault`'s capped backoff,
+//!   and recorded as a structured failure entry instead of aborting the
+//!   sweep.
+//! * **Straggler watchdog** — opt-in per-point wall/ref-rate stats with
+//!   median-based straggler flagging; fully deterministic when off.
+//!
+//! The `csim --sweep plan.toml --jobs N [--shard k/N] [--checkpoint f]`
+//! front end drives this crate and `csim --sweep-merge` performs the
+//! shard merge; `examples/fig09_sweep.toml` shows the dialect.
 //!
 //! # Example
 //!
@@ -34,20 +54,31 @@
 //!     seeds = [42]
 //! "#)?;
 //! let out = run_sweep(&plan, 2)?;
-//! assert_eq!(out.runs.len(), 2);
+//! assert_eq!(out.points.len(), 2);
+//! assert_eq!(out.failures().count(), 0);
 //! # Ok::<(), csim_sweep::SweepError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 
+mod checkpoint;
 mod engine;
 mod grid;
+mod merge;
 mod plan;
+mod shard;
 mod toml;
 
-pub use engine::{run_sweep, RunOutcome, SweepOutcome, SWEEP_REPORT_SCHEMA};
+pub use checkpoint::CHECKPOINT_SCHEMA;
+pub use engine::{
+    plan_fingerprint, run_sweep, run_sweep_cfg, run_sweep_with, PointExecutor, PointFailure,
+    PointOutcome, PointTiming, RunOutcome, RunSummary, SweepConfig, SweepOutcome, SweepTiming,
+    SWEEP_REPORT_SCHEMA, SWEEP_SHARD_SCHEMA,
+};
 pub use grid::RunSpec;
+pub use merge::{merge_shard_docs, merge_shard_files};
 pub use plan::{
     derive_seeds, integration_short_name, parse_integration, parse_l2_spec, L2Spec, SweepError,
     SweepPlan,
 };
+pub use shard::Shard;

@@ -1,0 +1,289 @@
+//! Cross-process shard merge: reassembles `csim-sweep-shard/v1`
+//! documents into the byte-stable `csim-sweep-report/v1`.
+//!
+//! This generalizes the engine's in-process merge-by-grid-index across
+//! process (and machine) boundaries: each shard report carries its
+//! points tagged with their grid index plus the full plan echo and
+//! fingerprint, so the merge can (a) refuse to mix shards of different
+//! sweeps, (b) slot every point back into expansion order, and
+//! (c) demand complete, non-overlapping coverage before emitting a
+//! report. Because shard documents are written by the workspace's
+//! canonical JSON writer and re-parsed by its canonical parser, the
+//! merged report is byte-identical to the one a single-process
+//! `run_sweep` of the same plan would have produced.
+
+use csim_obs::json::{parse, Json};
+
+use crate::engine::{SWEEP_REPORT_SCHEMA, SWEEP_SHARD_SCHEMA};
+use crate::plan::SweepError;
+
+fn merge_err(path: &str, message: String) -> SweepError {
+    SweepError::Merge { path: path.to_string(), message }
+}
+
+/// Merges parsed shard documents (each tagged with the path or name it
+/// was read from, for error messages) into one full sweep report.
+///
+/// # Errors
+///
+/// [`SweepError::Merge`] when a document is not a
+/// `csim-sweep-shard/v1`, the shards disagree on plan or shard count,
+/// coverage of the grid is incomplete or overlapping, or a point entry
+/// is malformed.
+pub fn merge_shard_docs(shards: &[(String, Json)]) -> Result<Json, SweepError> {
+    let Some((first_path, first_doc)) = shards.first() else {
+        return Err(merge_err("-", "no shard reports to merge".to_string()));
+    };
+
+    let check = |path: &str, doc: &Json| -> Result<(u32, Vec<Json>), SweepError> {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SWEEP_SHARD_SCHEMA) => {}
+            Some(other) => {
+                return Err(merge_err(
+                    path,
+                    format!("schema is '{other}', expected '{SWEEP_SHARD_SCHEMA}'"),
+                ))
+            }
+            None => return Err(merge_err(path, "document has no schema tag".to_string())),
+        }
+        let fingerprint = doc
+            .get("plan_fingerprint")
+            .and_then(Json::as_str)
+            .ok_or_else(|| merge_err(path, "missing plan_fingerprint".to_string()))?;
+        let expected = first_doc
+            .get("plan_fingerprint")
+            .and_then(Json::as_str)
+            .ok_or_else(|| merge_err(first_path, "missing plan_fingerprint".to_string()))?;
+        if fingerprint != expected {
+            return Err(merge_err(
+                path,
+                format!(
+                    "plan fingerprint {fingerprint} does not match {expected} of {first_path} — \
+                     these shards come from different sweeps"
+                ),
+            ));
+        }
+        let plan = doc.get("plan").ok_or_else(|| merge_err(path, "missing plan echo".to_string()))?;
+        let first_plan = first_doc
+            .get("plan")
+            .ok_or_else(|| merge_err(first_path, "missing plan echo".to_string()))?;
+        if plan.to_string() != first_plan.to_string() {
+            return Err(merge_err(
+                path,
+                format!("plan echo differs from {first_path} despite matching fingerprints"),
+            ));
+        }
+        let count = doc
+            .get("shard")
+            .and_then(|s| s.get("count"))
+            .and_then(Json::as_u64)
+            .ok_or_else(|| merge_err(path, "missing shard.count".to_string()))?;
+        let index = doc
+            .get("shard")
+            .and_then(|s| s.get("index"))
+            .and_then(Json::as_u64)
+            .ok_or_else(|| merge_err(path, "missing shard.index".to_string()))?;
+        if index >= count {
+            return Err(merge_err(path, format!("shard index {index} out of range of {count}")));
+        }
+        let points = doc
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| merge_err(path, "missing points array".to_string()))?;
+        Ok((count as u32, points.to_vec()))
+    };
+
+    let (shard_count, _) = check(first_path, first_doc)?;
+    let run_count = first_doc
+        .get("plan")
+        .and_then(|p| p.get("run_count"))
+        .and_then(Json::as_u64)
+        .ok_or_else(|| merge_err(first_path, "plan echo has no run_count".to_string()))?
+        as usize;
+
+    let mut covered: Vec<Option<&str>> = vec![None; shard_count as usize];
+    let mut slots: Vec<Option<Json>> = vec![None; run_count];
+    for (path, doc) in shards {
+        let (count, points) = check(path, doc)?;
+        if count != shard_count {
+            return Err(merge_err(
+                path,
+                format!("split into {count} shards, but {first_path} says {shard_count}"),
+            ));
+        }
+        let index = doc
+            .get("shard")
+            .and_then(|s| s.get("index"))
+            .and_then(Json::as_u64)
+            .ok_or_else(|| merge_err(path, "missing shard.index".to_string()))?
+            as usize;
+        if let Some(earlier) = covered[index] {
+            return Err(merge_err(
+                path,
+                format!("shard {index}/{shard_count} was already provided by {earlier}"),
+            ));
+        }
+        covered[index] = Some(path);
+        for entry in points {
+            let point_index = entry
+                .get("index")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| merge_err(path, "point entry has no index".to_string()))?
+                as usize;
+            if point_index >= run_count {
+                return Err(merge_err(
+                    path,
+                    format!("point index {point_index} out of range for a {run_count}-point grid"),
+                ));
+            }
+            if slots[point_index].is_some() {
+                return Err(merge_err(
+                    path,
+                    format!("point {point_index} appears in more than one shard"),
+                ));
+            }
+            // The merged report keys entries on array position, so the
+            // grid index is stripped; everything else passes through
+            // byte-for-byte.
+            let Json::Obj(pairs) = &entry else {
+                return Err(merge_err(path, "point entry is not an object".to_string()));
+            };
+            slots[point_index] =
+                Some(Json::Obj(pairs.iter().filter(|(k, _)| k != "index").cloned().collect()));
+        }
+    }
+
+    if let Some(missing) = covered.iter().position(Option::is_none) {
+        return Err(merge_err(
+            first_path,
+            format!("shard {missing}/{shard_count} is missing — merge needs all {shard_count} shard reports"),
+        ));
+    }
+    let mut runs = Vec::with_capacity(run_count);
+    for (i, slot) in slots.into_iter().enumerate() {
+        runs.push(slot.ok_or_else(|| {
+            merge_err(first_path, format!("grid point {i} is covered by no shard report"))
+        })?);
+    }
+
+    let plan = first_doc
+        .get("plan")
+        .ok_or_else(|| merge_err(first_path, "missing plan echo".to_string()))?
+        .clone();
+    Ok(Json::obj([
+        ("schema", Json::str(SWEEP_REPORT_SCHEMA)),
+        ("plan", plan),
+        ("runs", Json::Arr(runs)),
+    ]))
+}
+
+/// Reads, parses, and merges shard report files — the engine of
+/// `csim --sweep-merge`.
+///
+/// # Errors
+///
+/// [`SweepError::Merge`] naming the offending file for read and parse
+/// failures, plus everything [`merge_shard_docs`] rejects.
+// analyze: cold — one-shot post-processing of finished sweep shards, no simulation involved
+pub fn merge_shard_files(paths: &[String]) -> Result<Json, SweepError> {
+    let mut shards = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| merge_err(path, format!("cannot read: {e}")))?;
+        let doc =
+            parse(&text).map_err(|e| merge_err(path, format!("not valid JSON: {e}")))?;
+        shards.push((path.clone(), doc));
+    }
+    merge_shard_docs(&shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_sweep, run_sweep_cfg, SweepConfig};
+    use crate::plan::SweepPlan;
+    use crate::shard::Shard;
+    use csim_config::IntegrationLevel;
+
+    fn plan() -> SweepPlan {
+        SweepPlan {
+            name: "merge-test".to_string(),
+            warm: 1_000,
+            meas: 2_000,
+            integration: vec![IntegrationLevel::Base, IntegrationLevel::FullyIntegrated],
+            seeds: vec![42, 43, 44],
+            ..SweepPlan::default()
+        }
+    }
+
+    fn shard_doc(plan: &SweepPlan, index: u32, count: u32) -> Json {
+        let cfg = SweepConfig {
+            shard: Some(Shard { index, count }),
+            jobs: 2,
+            ..SweepConfig::default()
+        };
+        run_sweep_cfg(plan, &cfg).expect("shard sweeps").to_shard_json()
+    }
+
+    #[test]
+    fn merged_shards_are_byte_identical_to_a_single_process_run() {
+        let plan = plan();
+        let full = run_sweep(&plan, 2).unwrap().to_json().to_string();
+        for count in [1u32, 2, 3] {
+            // Round-trip through text exactly like the CLI: shard files
+            // are written and re-parsed, not handed over in memory.
+            let shards: Vec<(String, Json)> = (0..count)
+                .map(|i| {
+                    let text = shard_doc(&plan, i, count).to_string();
+                    (format!("shard{i}.json"), parse(&text).unwrap())
+                })
+                .collect();
+            let merged = merge_shard_docs(&shards).unwrap().to_string();
+            assert_eq!(merged, full, "{count}-shard merge diverged from the full run");
+        }
+    }
+
+    #[test]
+    fn merge_order_does_not_matter() {
+        let plan = plan();
+        let full = run_sweep(&plan, 1).unwrap().to_json().to_string();
+        let mut shards: Vec<(String, Json)> = (0..3u32)
+            .map(|i| (format!("s{i}"), shard_doc(&plan, i, 3)))
+            .collect();
+        shards.reverse();
+        assert_eq!(merge_shard_docs(&shards).unwrap().to_string(), full);
+    }
+
+    #[test]
+    fn missing_duplicate_and_mismatched_shards_are_rejected() {
+        let plan = plan();
+        let s0 = ("s0".to_string(), shard_doc(&plan, 0, 2));
+        let s1 = ("s1".to_string(), shard_doc(&plan, 1, 2));
+
+        let err = merge_shard_docs(std::slice::from_ref(&s0)).unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+
+        let err = merge_shard_docs(&[s0.clone(), s0.clone()]).unwrap_err();
+        assert!(err.to_string().contains("already provided"), "{err}");
+
+        let mut other = plan.clone();
+        other.seeds.push(99);
+        let foreign = ("foreign".to_string(), shard_doc(&other, 1, 2));
+        let err = merge_shard_docs(&[s0.clone(), foreign]).unwrap_err();
+        assert!(err.to_string().contains("different sweeps"), "{err}");
+
+        let s1_of_3 = ("s1of3".to_string(), shard_doc(&plan, 1, 3));
+        let err = merge_shard_docs(&[s0.clone(), s1_of_3]).unwrap_err();
+        assert!(err.to_string().contains("says 2"), "{err}");
+
+        let err = merge_shard_docs(&[("bogus".to_string(), Json::obj([]))]).unwrap_err();
+        assert!(err.to_string().contains("no schema tag"), "{err}");
+
+        assert!(merge_shard_docs(&[s0, s1]).is_ok());
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert!(merge_shard_docs(&[]).is_err());
+    }
+}

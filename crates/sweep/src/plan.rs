@@ -354,6 +354,35 @@ pub enum SweepError {
         /// Human-readable description.
         message: String,
     },
+    /// A checkpoint log record or the log file itself is damaged or
+    /// unwritable. Surfaced as a warning (the engine recovers past
+    /// damage) except for I/O errors opening the log, which are hard.
+    Checkpoint {
+        /// The checkpoint log path.
+        path: String,
+        /// 1-based line number of the offending record (0 = the file as
+        /// a whole).
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A checkpoint log is intact but was recorded by a different plan,
+    /// shard, or grid — resuming from it would silently mix sweeps, so
+    /// this is a hard error.
+    CheckpointMismatch {
+        /// The checkpoint log path.
+        path: String,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A shard report handed to the merge is unreadable, malformed, or
+    /// inconsistent with its siblings.
+    Merge {
+        /// The offending shard report path (or synthetic document name).
+        path: String,
+        /// Human-readable description.
+        message: String,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -367,6 +396,19 @@ impl fmt::Display for SweepError {
             }
             SweepError::Run { label, message } => {
                 write!(f, "sweep run '{label}' failed: {message}")
+            }
+            SweepError::Checkpoint { path, line, message } => {
+                if *line == 0 {
+                    write!(f, "checkpoint log {path}: {message}")
+                } else {
+                    write!(f, "checkpoint log {path}, line {line}: {message}")
+                }
+            }
+            SweepError::CheckpointMismatch { path, message } => {
+                write!(f, "checkpoint log {path} does not match this sweep: {message}")
+            }
+            SweepError::Merge { path, message } => {
+                write!(f, "shard merge failed at {path}: {message}")
             }
         }
     }

@@ -50,9 +50,30 @@
 //!                        of a single configuration
 //!   --jobs N             worker threads for the sweep (default 1; the
 //!                        merged report is byte-identical for any N)
+//!   --shard K/N          run only round-robin slice K of N (0-based);
+//!                        --json-report then writes a csim-sweep-shard/v1
+//!                        document for --sweep-merge
+//!   --checkpoint FILE    append each completed point to a CRC-guarded
+//!                        log; a re-run with the same plan and FILE skips
+//!                        completed points and the final report is
+//!                        byte-identical to an uninterrupted run
+//!   --watchdog MULT      flag points slower than MULT × the median point
+//!                        wall time on stderr (implies per-point timing;
+//!                        the JSON report stays deterministic)
+//!   --profile            with --json-report, append the per-point wall
+//!                        profile to the sweep report (nondeterministic)
 //!
-//! Sweep mode accepts only --sweep, --jobs, --json-report and --quiet;
-//! per-run parameters live in the plan file.
+//! Sweep mode accepts only the flags above plus --json-report and
+//! --quiet; per-run parameters live in the plan file. A point that
+//! panics or fails keeps the rest of the sweep alive: it is retried
+//! with capped backoff, recorded as a structured `failed` entry, and
+//! csim exits 3 (instead of 0) so scripts notice.
+//!
+//! merge mode:
+//!   --sweep-merge OUT SHARD1 SHARD2 ...
+//!                        merge csim-sweep-shard/v1 files into the
+//!                        csim-sweep-report/v1 at OUT — byte-identical
+//!                        to a single-process run of the same plan
 //! ```
 
 use oltp_chip_integration::obs::{json, REPORT_QUANTILES};
@@ -335,16 +356,38 @@ fn epoch_chart(samples: &[oltp_chip_integration::obs::EpochSample], epoch_len: u
         .with_series(nacks)
 }
 
-/// Sweep mode: `--sweep PLAN [--jobs N] [--json-report FILE] [--quiet]`.
+/// Parses the `--watchdog` straggler multiple: a finite number strictly
+/// above 1 (a point can hardly be flagged for being faster than, or
+/// equal to, the median).
+fn parse_watchdog(text: &str) -> Result<f64, String> {
+    let mult: f64 = text
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad --watchdog value '{text}': not a number"))?;
+    if !mult.is_finite() || mult <= 1.0 {
+        return Err(format!(
+            "bad --watchdog value '{text}': the straggler multiple must be a finite number \
+             greater than 1 (e.g. --watchdog 3 flags points 3x slower than the median)"
+        ));
+    }
+    Ok(mult)
+}
+
+/// Sweep mode: `--sweep PLAN [--jobs N] [--shard K/N] [--checkpoint F]
+/// [--watchdog M] [--profile] [--json-report FILE] [--quiet]`.
 /// Per-run parameters come from the plan file, so every other flag is
 /// rejected rather than silently ignored.
 fn run_sweep_cli(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    use oltp_chip_integration::sweep::{run_sweep, SweepPlan};
+    use oltp_chip_integration::sweep::{run_sweep_cfg, Shard, SweepConfig, SweepPlan};
 
     let mut plan_path: Option<String> = None;
-    let mut jobs = 1usize;
     let mut json_report: Option<String> = None;
     let mut quiet = false;
+    let mut profile = false;
+    let mut shard: Option<Shard> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut watchdog: Option<f64> = None;
+    let mut jobs = 1usize;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -353,57 +396,175 @@ fn run_sweep_cli(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         match flag.as_str() {
             "--sweep" => plan_path = Some(value("--sweep")?),
             "--jobs" => jobs = parse_jobs(&value("--jobs")?)?,
+            "--shard" => shard = Some(Shard::parse(&value("--shard")?)?),
+            "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
+            "--watchdog" => watchdog = Some(parse_watchdog(&value("--watchdog")?)?),
             "--json-report" => json_report = Some(value("--json-report")?),
+            "--profile" => profile = true,
             "--quiet" => quiet = true,
             other => {
                 return Err(format!(
                     "flag '{other}' cannot be combined with --sweep (sweep mode accepts \
-                     only --sweep, --jobs, --json-report and --quiet; per-run parameters \
-                     belong in the plan file)"
+                     only --sweep, --jobs, --shard, --checkpoint, --watchdog, --profile, \
+                     --json-report and --quiet; per-run parameters belong in the plan file)"
                 )
                 .into())
             }
         }
     }
-    // lint: allow(no-panic) — dispatch guarantees "--sweep" is present in argv
-    let path = plan_path.expect("sweep mode is only entered when --sweep is present");
+    let path = plan_path.ok_or("sweep mode needs --sweep <plan.toml>")?;
     let text = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read sweep plan '{path}': {e}"))?;
     let plan = SweepPlan::from_toml_str(&text)?;
+    let cfg = SweepConfig {
+        jobs,
+        shard,
+        checkpoint,
+        // Timing stays off — and the engine deterministic — unless the
+        // watchdog or the profile explicitly asks for it.
+        time_points: watchdog.is_some() || profile,
+        straggler_mult: watchdog,
+        ..SweepConfig::default()
+    };
     eprintln!(
-        "sweep '{}': {} run(s) on {} worker(s), {} warm + {} meas refs/node each",
+        "sweep '{}': {} run(s){} on {} worker(s), {} warm + {} meas refs/node each",
         plan.name,
         plan.run_count(),
+        shard.map(|s| format!(" (shard {s})")).unwrap_or_default(),
         jobs,
         plan.warm,
         plan.meas
     );
-    let outcome = run_sweep(&plan, jobs)?;
+    let outcome = run_sweep_cfg(&plan, &cfg)?;
+    for warning in &outcome.warnings {
+        eprintln!("warning: {warning}");
+    }
+    if outcome.resumed > 0 {
+        eprintln!(
+            "checkpoint: {} point(s) restored, {} executed",
+            outcome.resumed,
+            outcome.points.len() - outcome.resumed
+        );
+    }
+    if let Some(timing) = &outcome.timing {
+        for t in &timing.points {
+            if timing.stragglers.contains(&t.index) {
+                eprintln!(
+                    "watchdog: straggler {} took {:.0} ms ({:.1}x the {:.0} ms median, {:.0} krefs/s)",
+                    t.label,
+                    t.millis,
+                    t.millis / timing.median_millis,
+                    timing.median_millis,
+                    t.krefs_per_sec
+                );
+            }
+        }
+    }
     if let Some(path) = &json_report {
-        let doc = outcome.to_json();
+        // A shard writes the shard document (input to --sweep-merge);
+        // only a whole-grid sweep writes the final report directly.
+        let mut doc = if shard.is_some() { outcome.to_shard_json() } else { outcome.to_json() };
+        if profile {
+            if let Some(timing) = &outcome.timing {
+                // Deliberately opt-in: wall clock makes the document
+                // nondeterministic, exactly like --profile on a single run.
+                doc.push("profile", timing.to_profile().to_json());
+            }
+        }
         std::fs::write(path, format!("{doc}\n"))
             .map_err(|e| format!("cannot write report '{path}': {e}"))?;
         eprintln!("report: {path}");
     }
-    if quiet {
-        return Ok(());
+    let failures = outcome.failures().count();
+    if !quiet {
+        let mut t = TextTable::new(vec!["run", "CPI", "MPKI", "L2 misses", "transactions"]);
+        for p in &outcome.points {
+            match p.as_run() {
+                Some(r) => {
+                    t.row(vec![
+                        r.label.clone(),
+                        format!("{:.3}", r.summary.cpi),
+                        format!("{:.3}", r.summary.mpki),
+                        r.summary.l2_misses.to_string(),
+                        r.summary.transactions.to_string(),
+                    ]);
+                }
+                None => {
+                    t.row(vec![
+                        p.label().to_string(),
+                        "failed".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                    ]);
+                }
+            }
+        }
+        println!("{}", t.render());
     }
-    let mut t = TextTable::new(vec!["run", "CPI", "MPKI", "L2 misses", "transactions"]);
-    for r in &outcome.runs {
-        t.row(vec![
-            r.spec.label(),
-            format!("{:.3}", r.report.breakdown.cpi()),
-            format!("{:.3}", r.report.mpki()),
-            r.report.misses.total().to_string(),
-            r.report.transactions.to_string(),
-        ]);
+    if failures > 0 {
+        for f in outcome.failures() {
+            eprintln!("failed: {} after {} attempt(s): {}", f.label, f.attempts, f.error);
+        }
+        eprintln!(
+            "sweep finished with {failures} failed point(s) out of {}",
+            outcome.points.len()
+        );
+        // The report (with its structured failure entries) is already on
+        // disk; the exit code tells scripts the grid is incomplete.
+        std::process::exit(3);
     }
-    println!("{}", t.render());
+    Ok(())
+}
+
+/// Merge mode: `--sweep-merge OUT SHARD1 SHARD2 ... [--quiet]`. Reads
+/// `csim-sweep-shard/v1` files and writes the merged
+/// `csim-sweep-report/v1` to OUT.
+fn run_sweep_merge_cli(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use oltp_chip_integration::sweep::merge_shard_files;
+
+    let mut out: Option<String> = None;
+    let mut shards: Vec<String> = Vec::new();
+    let mut quiet = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sweep-merge" => {
+                out = Some(
+                    it.next().cloned().ok_or("--sweep-merge needs an output path")?,
+                );
+            }
+            "--quiet" => quiet = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!(
+                    "flag '{flag}' cannot be combined with --sweep-merge (merge mode takes \
+                     an output path, shard report files, and optionally --quiet)"
+                )
+                .into())
+            }
+            shard_file => shards.push(shard_file.to_string()),
+        }
+    }
+    let out = out.ok_or("merge mode needs --sweep-merge <out.json>")?;
+    if shards.is_empty() {
+        return Err("--sweep-merge needs at least one shard report file".into());
+    }
+    let doc = merge_shard_files(&shards)?;
+    std::fs::write(&out, format!("{doc}\n"))
+        .map_err(|e| format!("cannot write merged report '{out}': {e}"))?;
+    if !quiet {
+        eprintln!("merged {} shard report(s) into {out}", shards.len());
+    }
     Ok(())
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--sweep-merge") {
+        return run_sweep_merge_cli(&argv).map_err(|e| -> Box<dyn std::error::Error> {
+            format!("{e} (try --help)").into()
+        });
+    }
     if argv.iter().any(|a| a == "--sweep") {
         return run_sweep_cli(&argv).map_err(|e| -> Box<dyn std::error::Error> {
             format!("{e} (try --help)").into()
@@ -574,7 +735,7 @@ mod tests {
     // The L2 spec parser lives in csim-sweep so the plan loader and this
     // front end accept exactly the same language; these tests pin the
     // behavior `--l2` relies on.
-    use super::{parse_jobs, parse_l2_spec};
+    use super::{parse_jobs, parse_l2_spec, parse_watchdog};
 
     #[test]
     fn parse_l2_accepts_the_paper_geometries() {
@@ -620,5 +781,21 @@ mod tests {
         assert!(parse_jobs("four").unwrap_err().contains("not an integer"));
         assert!(parse_jobs("4x").unwrap_err().contains("not an integer"));
         assert!(parse_jobs("2048").unwrap_err().contains("ceiling"));
+    }
+
+    #[test]
+    fn parse_watchdog_accepts_sane_multiples() {
+        assert_eq!(parse_watchdog("3").unwrap(), 3.0);
+        assert_eq!(parse_watchdog(" 1.5 ").unwrap(), 1.5);
+    }
+
+    #[test]
+    fn parse_watchdog_rejects_degenerate_multiples() {
+        assert!(parse_watchdog("1").unwrap_err().contains("greater than 1"));
+        assert!(parse_watchdog("0.5").unwrap_err().contains("greater than 1"));
+        assert!(parse_watchdog("-3").unwrap_err().contains("greater than 1"));
+        assert!(parse_watchdog("inf").unwrap_err().contains("greater than 1"));
+        assert!(parse_watchdog("nan").unwrap_err().contains("greater than 1"));
+        assert!(parse_watchdog("fast").unwrap_err().contains("not a number"));
     }
 }

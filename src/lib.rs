@@ -22,9 +22,11 @@
 //! * [`sim`] — the full-system simulator tying everything together.
 //! * [`stats`] — normalized stacked-bar charts and text tables in the
 //!   paper's reporting style.
-//! * [`sweep`] — the deterministic parallel sweep engine: declarative
-//!   parameter grids executed on scoped worker threads with merged
-//!   reports that are byte-identical for any worker count.
+//! * [`sweep`] — the deterministic, crash-safe parallel sweep engine:
+//!   declarative parameter grids executed on scoped worker threads with
+//!   merged reports that are byte-identical for any worker count — and
+//!   for any combination of sharding (`--shard k/N` + `--sweep-merge`),
+//!   checkpoint/resume, and per-point failure isolation.
 //! * [`trace`] — the memory-reference vocabulary shared by all of the
 //!   above.
 //!
@@ -80,7 +82,10 @@ pub mod prelude {
     };
     pub use csim_proc::{ExecBreakdown, StallClass};
     pub use csim_stats::{Bar, BarChart, LineChart, Series, TextTable};
-    pub use csim_sweep::{run_sweep, RunSpec, SweepError, SweepOutcome, SweepPlan};
+    pub use csim_sweep::{
+        run_sweep, run_sweep_cfg, PointOutcome, RunSpec, Shard, SweepConfig, SweepError,
+        SweepOutcome, SweepPlan,
+    };
     pub use csim_trace::{Access, ExecMode, MemRef, ReferenceStream};
     pub use csim_workload::{OltpParams, OltpWorkload};
 }

@@ -65,9 +65,84 @@ fn sweep_runs_are_in_grid_order_regardless_of_workers() {
     let labels: Vec<String> = plan.expand().iter().map(|s| s.label()).collect();
     for jobs in [1, 3, 8] {
         let out = run_sweep(&plan, jobs).expect("sweep runs");
-        let got: Vec<String> = out.runs.iter().map(|r| r.spec.label()).collect();
+        let got: Vec<String> =
+            out.points.iter().map(|p| p.label().to_string()).collect();
         assert_eq!(got, labels, "run order changed under {jobs} workers");
+        assert_eq!(out.failures().count(), 0, "no point of the smoke plan fails");
     }
+}
+
+#[test]
+fn sharded_sweeps_merge_to_the_single_process_bytes() {
+    use oltp_chip_integration::sweep::{
+        merge_shard_docs, run_sweep_cfg, Shard, SweepConfig,
+    };
+
+    let plan = smoke_plan();
+    let full = run_sweep(&plan, 2).expect("full sweep runs").to_json().to_string();
+    let shards: Vec<(String, oltp_chip_integration::obs::json::Json)> = (0..3u32)
+        .map(|index| {
+            let cfg = SweepConfig {
+                shard: Some(Shard { index, count: 3 }),
+                jobs: 2,
+                ..SweepConfig::default()
+            };
+            let out = run_sweep_cfg(&plan, &cfg).expect("shard sweep runs");
+            // Round-trip through text exactly like real shard files.
+            let text = out.to_shard_json().to_string();
+            let doc = oltp_chip_integration::obs::json::parse(&text).expect("shard doc parses");
+            (format!("shard{index}"), doc)
+        })
+        .collect();
+    let merged = merge_shard_docs(&shards).expect("shards merge").to_string();
+    assert_eq!(merged, full, "3-shard merge must be byte-identical to the full run");
+}
+
+#[test]
+fn a_panicking_point_leaves_the_rest_of_the_sweep_alive() {
+    use oltp_chip_integration::sweep::{run_sweep_with, RunSpec, SweepConfig, SweepError};
+
+    let plan = smoke_plan();
+    let poison = plan.expand()[3].label();
+    let exec = move |_: usize, spec: &RunSpec| -> Result<_, SweepError> {
+        if spec.label() == poison {
+            panic!("poisoned point");
+        }
+        // Failure isolation is about scheduling, not simulation: a
+        // stub outcome keeps this test fast.
+        Ok(oltp_chip_integration::sweep::RunOutcome {
+            index: 0,
+            label: spec.label(),
+            seed: spec.seed,
+            summary: oltp_chip_integration::sweep::RunSummary {
+                cpi: 1.0,
+                mpki: 0.0,
+                l2_misses: 0,
+                transactions: 0,
+            },
+            doc: oltp_chip_integration::obs::json::Json::obj([]),
+        })
+    };
+    let cfg = SweepConfig {
+        jobs: 4,
+        retry: oltp_chip_integration::fault::RetryPolicy {
+            max_retries: 1,
+            backoff_base: 0,
+            exponential: false,
+            backoff_cap: 0,
+        },
+        ..SweepConfig::default()
+    };
+    let out = run_sweep_with(&plan, &cfg, &exec).expect("the sweep itself survives");
+    assert_eq!(out.points.len(), plan.run_count());
+    let failure = out.failures().next().expect("the poisoned point is recorded");
+    assert_eq!(failure.attempts, 2);
+    assert!(failure.error.contains("poisoned point"), "{}", failure.error);
+    assert_eq!(
+        out.points.iter().filter(|p| p.as_run().is_some()).count(),
+        plan.run_count() - 1,
+        "every other point must complete"
+    );
 }
 
 /// Drives both implementations through an identical operation stream and
