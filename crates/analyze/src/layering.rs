@@ -3,7 +3,8 @@
 //! The workspace has an intended shape: leaf crates (`config`, `trace`,
 //! `stats`) know nothing; the domain crates (`cache`, `coherence`,
 //! `noc`, `workload`, `proc`, `fault`) sit on the leaves; `core`
-//! composes the domain; `sweep`/`obs`/`check`/`analyze` sit at the rim;
+//! composes the domain; `sweep`/`obs`/`prof`/`check`/`analyze` sit at
+//! the rim;
 //! the root facade sees everything. Each crate below lists the crates
 //! it is *allowed* to depend on. Any observed intra-workspace reference
 //! outside that list is a finding — including references smuggled in
@@ -35,11 +36,12 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     ("fault", &["trace", "noc"]),
     ("obs", &["proc", "fault", "trace"]),
     ("check", &["coherence", "trace"]),
+    ("prof", &["trace", "proc", "obs", "stats"]),
     (
         "core",
         &[
             "trace", "workload", "cache", "coherence", "check", "proc", "config", "fault",
-            "stats", "obs",
+            "stats", "obs", "prof",
         ],
     ),
     ("sweep", &["trace", "workload", "config", "core", "obs", "fault"]),
@@ -48,7 +50,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         "bench",
         &[
             "cache", "check", "coherence", "config", "core", "fault", "noc", "obs", "proc",
-            "stats", "sweep", "trace", "workload",
+            "prof", "stats", "sweep", "trace", "workload",
         ],
     ),
 ];
@@ -60,7 +62,7 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
 pub(crate) const SUBSTRATE: &[&str] = &["cache", "coherence", "noc"];
 
 /// Crates the substrate must never depend on.
-pub(crate) const UPPER_LAYERS: &[&str] = &["core", "obs", "sweep", "analyze"];
+pub(crate) const UPPER_LAYERS: &[&str] = &["core", "obs", "prof", "sweep", "analyze"];
 
 /// Checks that the allowlist is acyclic. Returns a cycle description
 /// on failure (the pass refuses to run with a cyclic table).

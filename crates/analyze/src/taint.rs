@@ -36,6 +36,7 @@ const SINK_PATHS: &[&str] = &[
     "crates/obs/src/",
     "crates/stats/src/",
     "crates/analyze/src/",
+    "crates/prof/src/",
     "crates/core/src/report.rs",
     "crates/core/src/export.rs",
     "crates/sweep/src/engine.rs",

@@ -66,6 +66,40 @@ fn layering_gate_fires_on_a_substrate_breach() {
 }
 
 #[test]
+fn layering_gate_covers_the_prof_crate() {
+    // `prof` may see trace/proc/obs/stats only; a body-level reference
+    // to csim_core must be flagged (plain allowlist breach — prof is
+    // not substrate, so the message names the allowed set instead).
+    let rep = analyze_mounted(&[(
+        "crates/prof/src/breach.rs",
+        "prof",
+        Section::Src,
+        "prof_layering_breach.rs",
+    )]);
+    let f = rep
+        .findings
+        .iter()
+        .find(|f| f.rule == "layering")
+        .unwrap_or_else(|| panic!("no layering finding: {:?}", rules_of(&rep)));
+    assert!(f.message.contains("`prof`"), "{}", f.message);
+    assert!(f.message.contains("not allowed"), "{}", f.message);
+    assert!(f.file.ends_with("breach.rs"));
+}
+
+#[test]
+fn hot_path_rules_fire_inside_the_prof_crate() {
+    // The attribution accumulators are `// analyze: hot` roots; the
+    // transitive hot-path rules must police prof like any other crate.
+    let rep = analyze_mounted(&[(
+        "crates/prof/src/hot_alloc.rs",
+        "prof",
+        Section::Src,
+        "hot_alloc.rs",
+    )]);
+    assert!(rules_of(&rep).contains(&"hot-alloc"), "{:?}", rules_of(&rep));
+}
+
+#[test]
 fn hot_alloc_fires_transitively_with_a_chain() {
     let rep = analyze_mounted(&[(
         "crates/cache/src/hot_alloc.rs",

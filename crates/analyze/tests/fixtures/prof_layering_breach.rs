@@ -1,0 +1,13 @@
+//! Fixture: the profiler reaching down into the simulation core.
+//!
+//! Mounted by the fixture tests as `crates/prof/src/breach.rs` — a
+//! prof-crate file referencing `csim_core` — which the layering gate
+//! must flag: attribution is composed *by* core (the simulation owns an
+//! `Attribution` and feeds it), never the other way around, or the
+//! profiler could perturb what it measures. The reference is smuggled
+//! through a function body, not a `use` item, to prove body-level
+//! references count for the new crate too.
+
+pub fn fixture_prof_peeks_core() -> &'static str {
+    csim_core::RUN_REPORT_SCHEMA
+}

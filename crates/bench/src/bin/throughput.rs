@@ -20,6 +20,11 @@
 //!   the arrays compete with the workload for host cache.
 //! * **sweep** — the smoke grid from `examples/sweep_smoke.toml`'s shape
 //!   through `csim-sweep`'s worker pool, checking the engine scales.
+//! * **kernel_attribution** — the cache-kernel loop rerun with
+//!   `csim-trace` host region markers under `csim-prof`'s sampling
+//!   profiler: how each kernel's wall time splits between RNG/address
+//!   generation and the probe itself (the evidence behind ROADMAP item
+//!   1's 0.89x analysis).
 //!
 //! Usage:
 //!   throughput [--meas N] [--reps K] [--jobs J] [--out FILE]
@@ -35,7 +40,9 @@ use std::time::Instant;
 use csim_cache::{Cache, ReferenceCache};
 use csim_config::{CacheGeometry, IntegrationLevel, SystemConfig};
 use csim_core::Simulation;
+use csim_prof::{HostSampler, RegionReport};
 use csim_sweep::{run_sweep, SweepPlan};
+use csim_trace::hostprof::{set_region, Region};
 use csim_trace::SimRng;
 use csim_workload::OltpParams;
 
@@ -137,6 +144,85 @@ fn measure_cache_kernel(reps: usize) -> (f64, f64) {
     (best_fast, best_slow)
 }
 
+/// Sampling rate for the kernel-attribution profile: fast enough for a
+/// few thousand samples over a multi-million-op loop, slow enough that
+/// `thread::sleep` granularity still paces the watcher.
+const ATTRIBUTION_SAMPLE_HZ: u32 = 10_000;
+
+/// Runs the cache-kernel loop with host region markers published
+/// per-op: the RNG/address work and the probe itself become separately
+/// sampleable, answering *where the kernel's wall time goes* instead of
+/// only how fast it runs end to end.
+fn attributed_cache_loop(
+    ops: u64,
+    line_mask: u64,
+    probe: Region,
+    mut access: impl FnMut(u64, bool) -> bool,
+) {
+    let mut rng = SimRng::seed_from_u64(0xCAFE);
+    for _ in 0..ops {
+        set_region(Region::Rng);
+        let r = rng.next_u64();
+        let line = r >> 32 & line_mask;
+        set_region(probe);
+        access(line, r & 1 == 0);
+    }
+    set_region(Region::Idle);
+}
+
+/// Wall-time-by-region profiles of the packed and reference cache
+/// kernels (same geometry and stream as [`measure_cache_kernel`]).
+fn measure_kernel_attribution(ops: u64) -> (RegionReport, RegionReport) {
+    let geometry = CacheGeometry::new(8 << 20, 1, 64).expect("valid geometry");
+    let line_mask = 2 * geometry.lines() - 1;
+
+    let mut fast = Cache::new(geometry);
+    let sampler = HostSampler::start(ATTRIBUTION_SAMPLE_HZ);
+    attributed_cache_loop(ops, line_mask, Region::PackedProbe, |line, write| {
+        if fast.access(line, write).is_hit() {
+            true
+        } else {
+            fast.insert(line, write);
+            false
+        }
+    });
+    let packed = sampler.stop();
+
+    let mut slow = ReferenceCache::new(geometry);
+    let sampler = HostSampler::start(ATTRIBUTION_SAMPLE_HZ);
+    attributed_cache_loop(ops, line_mask, Region::ReferenceProbe, |line, write| {
+        if slow.access(line, write).is_hit() {
+            true
+        } else {
+            slow.insert(line, write);
+            false
+        }
+    });
+    let reference = sampler.stop();
+    (packed, reference)
+}
+
+/// The `kernel_attribution` report section: the two kernels' sampled
+/// wall-time split between RNG/address generation, the probe itself,
+/// and idle (loop overhead the markers don't cover).
+fn kernel_attribution_json(packed: &RegionReport, reference: &RegionReport) -> String {
+    let one = |name: &str, r: &RegionReport, probe: Region| {
+        format!(
+            "    \"{name}\": {{\"ticks\": {}, \"rng_share\": {:.3}, \"probe_share\": {:.3}, \"idle_share\": {:.3}}}",
+            r.ticks,
+            r.share(Region::Rng),
+            r.share(probe),
+            r.share(Region::Idle),
+        )
+    };
+    format!(
+        "  \"kernel_attribution\": {{\n    \"sample_hz\": {},\n{},\n{}\n  }}\n",
+        packed.hz,
+        one("packed", packed, Region::PackedProbe),
+        one("reference", reference, Region::ReferenceProbe),
+    )
+}
+
 /// Aggregate refs/sec of a small sweep grid on `jobs` workers.
 fn measure_sweep(jobs: usize) -> (f64, u64) {
     let plan = SweepPlan::from_toml_str(
@@ -176,6 +262,7 @@ fn report_json(
     single: f64,
     kernel: (f64, f64),
     sweep: (f64, u64),
+    attribution: &str,
 ) -> String {
     let (opt, reference) = kernel;
     let (sweep_rps, sweep_refs) = sweep;
@@ -196,7 +283,8 @@ fn report_json(
             "    \"reference_ops_per_sec\": {refc:.0},\n",
             "    \"speedup\": {kspeed:.3}\n",
             "  }},\n",
-            "  \"sweep\": {{\"total_refs\": {srefs}, \"refs_per_sec\": {srps:.0}}}\n",
+            "  \"sweep\": {{\"total_refs\": {srefs}, \"refs_per_sec\": {srps:.0}}},\n",
+            "{attr}",
             "}}\n",
         ),
         meas = meas,
@@ -210,6 +298,7 @@ fn report_json(
         kspeed = opt / reference,
         srefs = sweep_refs,
         srps = sweep_rps,
+        attr = attribution,
     )
 }
 
@@ -278,19 +367,43 @@ fn main() {
     eprintln!("sweep grid on {jobs} worker(s) ...");
     let sweep = measure_sweep(jobs);
     eprintln!("  {:.0} refs/s over {} refs", sweep.0, sweep.1);
-    let doc = report_json(meas, reps, jobs, single, kernel, sweep);
+    eprintln!("kernel attribution: sampling at {ATTRIBUTION_SAMPLE_HZ} Hz ...");
+    let (packed, reference) = measure_kernel_attribution(4_000_000);
+    eprintln!(
+        "  packed: {:.0}% rng / {:.0}% probe; reference: {:.0}% rng / {:.0}% probe",
+        100.0 * packed.share(Region::Rng),
+        100.0 * packed.share(Region::PackedProbe),
+        100.0 * reference.share(Region::Rng),
+        100.0 * reference.share(Region::ReferenceProbe),
+    );
+    let attribution = kernel_attribution_json(&packed, &reference);
+    let doc = report_json(meas, reps, jobs, single, kernel, sweep, &attribution);
     std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("cannot write '{out}': {e}"));
     println!("wrote {out}");
 }
 
 #[cfg(test)]
 mod tests {
-    use super::recorded_single_refs_per_sec;
+    use super::{kernel_attribution_json, recorded_single_refs_per_sec};
 
     #[test]
     fn scan_finds_the_single_section_number() {
         let text = "{\n \"single\": {\n \"label\": \"x\",\n \"refs_per_sec\": 123456,\n}}";
         assert_eq!(recorded_single_refs_per_sec(text), Some(123456.0));
         assert_eq!(recorded_single_refs_per_sec("{}"), None);
+    }
+
+    #[test]
+    fn attribution_section_carries_both_kernels() {
+        let sampler = super::HostSampler::start(1000);
+        let packed = sampler.stop();
+        let sampler = super::HostSampler::start(1000);
+        let reference = sampler.stop();
+        let s = kernel_attribution_json(&packed, &reference);
+        for needle in
+            ["\"kernel_attribution\"", "\"packed\"", "\"reference\"", "\"probe_share\""]
+        {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
     }
 }

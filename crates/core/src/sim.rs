@@ -9,6 +9,8 @@ use csim_config::{LatencyTable, SystemConfig, LINE_SIZE, PAGE_SIZE};
 use csim_fault::{FaultInjector, FaultStats, TransactionKind};
 use csim_obs::{EpochSnapshot, Event, EventKind, MissClass, Observer};
 use csim_proc::{ExecBreakdown, StallClass, Timing, TimingModel};
+use csim_prof::Attribution;
+use csim_trace::hostprof::{self, Region};
 use csim_trace::{MemRef, ReferenceStream};
 use csim_workload::{NodeWorkload, OltpParams, OltpWorkload, SharedOltpState};
 
@@ -73,6 +75,13 @@ pub struct Simulation<S = NodeWorkload> {
     txn_baseline: u64,
     injector: Option<FaultInjector>,
     observer: Observer,
+    /// Cycle attribution (`--prof`), off by default. Like the observer
+    /// it is strictly read-only with respect to the simulation: every
+    /// latency the observer records is also split into per-component
+    /// contributions here, and nothing ever reads the split back into
+    /// simulated state — a run with attribution on is bit-identical to
+    /// one without.
+    attr: Option<Box<Attribution>>,
     sanitizer: Option<Box<Sanitizer>>,
     /// True for single-node machines. In a uniprocessor no remote read
     /// can ever downgrade (clean) an L2 line, so "dirty in the L1" proves
@@ -164,6 +173,7 @@ impl<S: ReferenceStream> Simulation<S> {
             txn_baseline: 0,
             injector: None,
             observer: Observer::disabled(),
+            attr: None,
             sanitizer: None,
             uni: cfg.n_nodes() == 1,
         })
@@ -200,6 +210,28 @@ impl<S: ReferenceStream> Simulation<S> {
     /// Wires an observer into an existing simulation.
     pub fn set_observer(&mut self, observer: Observer) {
         self.observer = observer;
+    }
+
+    /// Enables cycle attribution (builder style): every latency charged
+    /// from here on is split into per-component contributions (L1
+    /// probe, L2 array, directory, NoC hops, MC queue, fault extra) per
+    /// miss class. Same contract as the observer: purely read-only, so
+    /// reports stay bit-identical to a run without it.
+    pub fn with_attribution(mut self) -> Self {
+        self.set_attribution(true);
+        self
+    }
+
+    /// Enables or disables cycle attribution on an existing simulation.
+    /// Enabling resets any previous accumulation.
+    pub fn set_attribution(&mut self, on: bool) {
+        self.attr =
+            if on { Some(Box::new(Attribution::new(self.latencies.l2_hit))) } else { None };
+    }
+
+    /// The accumulated cycle attribution, when enabled.
+    pub fn attribution(&self) -> Option<&Attribution> {
+        self.attr.as_deref()
     }
 
     /// Enables the runtime coherence sanitizer (builder style): every
@@ -320,6 +352,9 @@ impl<S: ReferenceStream> Simulation<S> {
             inj.reset_stats();
         }
         self.observer.reset();
+        if let Some(attr) = &mut self.attr {
+            **attr = Attribution::new(self.latencies.l2_hit);
+        }
         self.refs_run = 0;
         self.txn_baseline =
             self.txn_source.as_ref().map_or(0, |s| s.transactions_completed());
@@ -327,6 +362,9 @@ impl<S: ReferenceStream> Simulation<S> {
 
     // analyze: hot
     fn advance(&mut self, refs_per_node: u64) {
+        // Publish the host profiler's region once per advance call (one
+        // relaxed store, amortized over `refs_per_node` references).
+        hostprof::set_region(Region::Advance);
         // The epoch check is hoisted into two loop bodies so the common
         // no-epochs configuration never tests it per round.
         match self.observer.epoch_len() {
@@ -356,6 +394,7 @@ impl<S: ReferenceStream> Simulation<S> {
                 }
             }
         }
+        hostprof::set_region(Region::Idle);
     }
 
     /// Hands the observer a cumulative snapshot of the machine-wide
@@ -455,6 +494,9 @@ impl<S: ReferenceStream> Simulation<S> {
             self.note_fault_outcomes(n, c, line, d);
         }
         self.observer.record_latency(obs, latency);
+        if let Some(attr) = &mut self.attr {
+            attr.record(obs, class, base, latency);
+        }
         if self.observer.wants_events() {
             self.observer.record_event(Event {
                 at: self.refs_run,
@@ -478,6 +520,9 @@ impl<S: ReferenceStream> Simulation<S> {
         }
         if d.nacks > 0 {
             self.observer.record_latency(MissClass::NackRetry, d.retry_cycles);
+            if let Some(attr) = &mut self.attr {
+                attr.record_nack(d.retry_cycles);
+            }
         }
         if !self.observer.wants_events() {
             return;
@@ -594,6 +639,9 @@ impl<S: ReferenceStream> Simulation<S> {
             }
             let latency = self.latencies.l2_hit;
             self.observer.record_latency(MissClass::L2Hit, latency);
+            if let Some(attr) = &mut self.attr {
+                attr.record(MissClass::L2Hit, StallClass::L2Hit, latency, latency);
+            }
             if self.observer.wants_events() {
                 self.observer.record_event(Event {
                     at: self.refs_run,
@@ -666,6 +714,11 @@ impl<S: ReferenceStream> Simulation<S> {
                 latency += inj.memory_fetch_extra(self.refs_run);
             }
             self.observer.record_latency(MissClass::Local, latency);
+            if let Some(attr) = &mut self.attr {
+                // Anything the injector added beyond the fault-free
+                // local latency is attributed as fault extra.
+                attr.record(MissClass::Local, StallClass::Local, self.latencies.local, latency);
+            }
             if self.observer.wants_events() {
                 self.observer.record_event(Event {
                     at: self.refs_run,

@@ -133,6 +133,14 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Exact sum of all recorded values (not bucketed) — the
+    /// reconciliation anchor for cycle-attribution: a profiler that
+    /// splits the same latencies into components must produce per-class
+    /// component sums equal to this, cycle for cycle.
+    pub fn total(&self) -> u128 {
+        self.sum
+    }
+
     /// Smallest recorded value (0 when empty).
     pub fn min(&self) -> u64 {
         if self.count == 0 { 0 } else { self.min }
@@ -309,6 +317,7 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, all);
+        assert_eq!(a.total(), 5 + 80 + 300 + 7 + 80 + 9000);
     }
 
     #[test]

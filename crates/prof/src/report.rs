@@ -1,0 +1,60 @@
+//! The machine-readable attribution report.
+//!
+//! Everything in a prof report is a function of the simulation's
+//! deterministic state: same seeds, same bytes. Host-side measurements
+//! (the sampling profiler, phase timings) are deliberately *not* part
+//! of this document — they ride in the run report's explicitly
+//! nondeterministic `host_profile` section instead.
+
+use csim_obs::json::Json;
+use csim_obs::RunManifest;
+
+use crate::attr::Attribution;
+
+/// Schema tag written into every attribution report, bumped on breaking
+/// layout changes so downstream readers can dispatch.
+pub const PROF_REPORT_SCHEMA: &str = "csim-prof-report/v1";
+
+/// Assembles the attribution report document: schema tag, reproduction
+/// manifest, and the per-class component breakdown. Byte-stable across
+/// reruns of the same seeds.
+pub fn prof_report_json(attr: &Attribution, manifest: &RunManifest) -> Json {
+    Json::obj([
+        ("schema", Json::str(PROF_REPORT_SCHEMA)),
+        ("manifest", manifest.to_json()),
+        ("attribution", attr.to_json()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csim_obs::json::validate;
+    use csim_obs::MissClass;
+    use csim_proc::StallClass;
+
+    #[test]
+    fn report_validates_and_is_byte_stable() {
+        let mut attr = Attribution::new(22);
+        attr.record(MissClass::RemoteDirty, StallClass::RemoteDirty, 660, 700);
+        let manifest = RunManifest {
+            tool: "csim".into(),
+            version: "0.0.0+test".into(),
+            config_summary: "8p".into(),
+            config: vec![("nodes".into(), "8".into())],
+            seeds: vec![("workload".into(), 42)],
+        };
+        let a = prof_report_json(&attr, &manifest).to_string();
+        let b = prof_report_json(&attr, &manifest).to_string();
+        assert_eq!(a, b);
+        validate(&a).unwrap();
+        for section in ["\"schema\":\"csim-prof-report/v1\"", "\"manifest\"", "\"attribution\""] {
+            assert!(a.contains(section), "missing {section}");
+        }
+    }
+
+    #[test]
+    fn schema_constant_is_live() {
+        assert!(PROF_REPORT_SCHEMA.ends_with("/v1"));
+    }
+}

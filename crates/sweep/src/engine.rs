@@ -238,6 +238,21 @@ pub struct PointTiming {
     /// Simulated references per wall millisecond — equivalently
     /// thousands of refs per second — for spotting slow configurations.
     pub krefs_per_sec: f64,
+    /// Wall milliseconds between the sweep's start and this point's
+    /// start — the span offset for trace-event timeline export.
+    pub start_millis: f64,
+    /// Index of the worker thread that executed the point (a trace
+    /// timeline track id; scheduling detail, never in reports).
+    pub worker: usize,
+}
+
+/// Raw wall measurements a worker parks alongside a point outcome
+/// (assembled into [`PointTiming`] in grid order afterwards).
+#[derive(Clone, Copy, Debug)]
+struct PointWall {
+    millis: f64,
+    start_millis: f64,
+    worker: usize,
 }
 
 /// Wall-clock statistics of the executed points, with stragglers
@@ -575,23 +590,36 @@ pub fn run_sweep_with(
 
     // Execute. Results (and optional wall times) park in index slots so
     // scheduling order can never reach the report.
-    type Slot = Option<(PointOutcome, Option<f64>)>;
+    type Slot = Option<(PointOutcome, Option<PointWall>)>;
     let slots: Mutex<Vec<Slot>> = Mutex::new((0..specs.len()).map(|_| None).collect());
     let checkpoint_warnings: Mutex<Vec<SweepError>> = Mutex::new(Vec::new());
+    // Epoch for per-point start offsets (trace-event timelines). Only
+    // read when timing is opted into; like the per-point durations the
+    // offsets stay out of the deterministic report.
+    // lint: allow(no-wallclock) — start offsets feed the opt-in trace-event timeline, never the byte-stable report
+    // lint: allow(taint-export) — quarantined in SweepTiming, which deterministic exports exclude by contract
+    let epoch = cfg.time_points.then(std::time::Instant::now);
     if !to_run.is_empty() {
         let queue: Mutex<VecDeque<(usize, &RunSpec)>> =
             Mutex::new(to_run.iter().copied().collect());
         let workers = cfg.jobs.min(to_run.len());
+        // The closures move only `w` (and Copy references); the shared
+        // structures are captured through these explicit borrows.
+        let (queue, slots, log, checkpoint_warnings) =
+            (&queue, &slots, &log, &checkpoint_warnings);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let job = lock(&queue).pop_front();
+            for w in 0..workers {
+                scope.spawn(move || loop {
+                    let job = lock(queue).pop_front();
                     let Some((idx, spec)) = job else { break };
-                    let (outcome, millis) = if cfg.time_points {
+                    let (outcome, wall) = if let Some(epoch) = epoch {
+                        let start_millis = epoch.elapsed().as_secs_f64() * 1000.0;
                         let mut profile = PhaseProfile::new();
                         let outcome =
                             profile.time("point", || run_point(exec, idx, spec, &cfg.retry));
-                        (outcome, Some(profile.total_millis()))
+                        let wall =
+                            PointWall { millis: profile.total_millis(), start_millis, worker: w };
+                        (outcome, Some(wall))
                     } else {
                         (run_point(exec, idx, spec, &cfg.retry), None)
                     };
@@ -602,10 +630,10 @@ pub fn run_sweep_with(
                             // sweep: disable further writes, surface the
                             // error once, and keep computing.
                             guard.disable();
-                            lock(&checkpoint_warnings).push(e);
+                            lock(checkpoint_warnings).push(e);
                         }
                     }
-                    lock(&slots)[idx] = Some((outcome, millis));
+                    lock(slots)[idx] = Some((outcome, wall));
                 });
             }
         });
@@ -621,18 +649,21 @@ pub fn run_sweep_with(
             points.push(point);
             continue;
         }
-        let (outcome, millis) = slots[idx].take().ok_or_else(|| SweepError::Run {
+        let (outcome, wall) = slots[idx].take().ok_or_else(|| SweepError::Run {
             label: spec.label(),
             message: "worker exited without recording a result".to_string(),
         })?;
-        if let Some(millis) = millis {
+        if let Some(wall) = wall {
             let total_refs = (spec.warm + spec.meas) * spec.nodes as u64;
+            let millis = wall.millis;
             timings.push(PointTiming {
                 index: idx,
                 label: outcome.label().to_string(),
                 millis,
                 // refs per wall millisecond == thousands of refs/sec.
                 krefs_per_sec: if millis > 0.0 { total_refs as f64 / millis } else { 0.0 },
+                start_millis: wall.start_millis,
+                worker: wall.worker,
             });
         }
         points.push(outcome);

@@ -28,6 +28,7 @@
 
 mod addr;
 mod codec;
+pub mod hostprof;
 mod mem_ref;
 mod rng;
 mod stream;

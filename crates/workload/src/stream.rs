@@ -738,6 +738,17 @@ impl NodeWorkload {
     #[cold]
     #[inline(never)]
     fn refill(&mut self) {
+        // Publish the host profiler's burst-refill region for the
+        // duration of the burst, restoring the enclosing region (the
+        // advance loop, usually) on exit. Two relaxed stores per burst
+        // of thousands of references.
+        let enclosing = csim_trace::hostprof::current_region();
+        csim_trace::hostprof::set_region(csim_trace::hostprof::Region::BurstRefill);
+        self.refill_burst();
+        csim_trace::hostprof::set_region(enclosing);
+    }
+
+    fn refill_burst(&mut self) {
         debug_assert!(self.buf.is_empty());
         if self.runs_lgwr
             && self.shared.pending_commits.load(Relaxed) >= self.params.lgwr_batch

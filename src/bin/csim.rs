@@ -39,6 +39,23 @@
 //!                        JSON report (makes it nondeterministic)
 //!   --epoch-svg FILE     plot the epoch series (IPC, MPKI, NACK rate)
 //!                        as an SVG line chart
+//!
+//! profiling (see crates/prof):
+//!   --prof FILE          attribute every charged cycle to a hardware
+//!                        component (L1 probe, L2 array, directory, NoC
+//!                        hops, MC queue, fault extra) and write the
+//!                        byte-stable csim-prof-report/v1 to FILE; the
+//!                        simulation itself stays bit-identical
+//!   --prof-svg FILE      with --prof, render the per-miss-class stacked
+//!                        attribution bars (the paper's breakdown-figure
+//!                        style) as an SVG
+//!   --prof-sample-hz N   run the host sampling profiler at N Hz during
+//!                        warmup+measure; prints the wall-time-by-region
+//!                        table on stderr and rides in the JSON report's
+//!                        nondeterministic host_profile section
+//!   --trace-events FILE  write the run's phase timeline as Chrome
+//!                        trace-event JSON (chrome://tracing, Perfetto);
+//!                        wall clock, so inherently nondeterministic
 //!   --quiet              suppress the human-readable stdout tables
 //!                        (implied diagnostics stay on stderr)
 //!   --validate-json FILE   check FILE is well-formed JSON and exit
@@ -62,6 +79,9 @@
 //!                        the JSON report stays deterministic)
 //!   --profile            with --json-report, append the per-point wall
 //!                        profile to the sweep report (nondeterministic)
+//!   --trace-events FILE  write the sweep's point lifecycle as Chrome
+//!                        trace-event JSON — one timeline track per
+//!                        worker thread (implies per-point timing)
 //!
 //! Sweep mode accepts only the flags above plus --json-report and
 //! --quiet; per-run parameters live in the plan file. A point that
@@ -78,6 +98,7 @@
 
 use oltp_chip_integration::obs::{json, REPORT_QUANTILES};
 use oltp_chip_integration::prelude::*;
+use oltp_chip_integration::prof::chrome::TraceDoc;
 use oltp_chip_integration::stats::svg;
 use oltp_chip_integration::sweep::{parse_integration, parse_l2_spec};
 
@@ -109,6 +130,10 @@ struct Args {
     epoch_svg: Option<String>,
     quiet: bool,
     profile: bool,
+    prof: Option<String>,
+    prof_svg: Option<String>,
+    prof_sample_hz: Option<u32>,
+    trace_events: Option<String>,
 }
 
 impl Default for Args {
@@ -140,6 +165,10 @@ impl Default for Args {
             epoch_svg: None,
             quiet: false,
             profile: false,
+            prof: None,
+            prof_svg: None,
+            prof_sample_hz: None,
+            trace_events: None,
         }
     }
 }
@@ -213,6 +242,17 @@ fn parse_args() -> Result<Args, String> {
             "--epoch-svg" => args.epoch_svg = Some(value("--epoch-svg")?),
             "--quiet" => args.quiet = true,
             "--profile" => args.profile = true,
+            "--prof" => args.prof = Some(value("--prof")?),
+            "--prof-svg" => args.prof_svg = Some(value("--prof-svg")?),
+            "--prof-sample-hz" => {
+                let hz: u32 =
+                    value("--prof-sample-hz")?.parse().map_err(|e| format!("{e}"))?;
+                if hz == 0 {
+                    return Err("--prof-sample-hz must be at least 1".into());
+                }
+                args.prof_sample_hz = Some(hz);
+            }
+            "--trace-events" => args.trace_events = Some(value("--trace-events")?),
             "--validate-json" | "--validate-jsonl" => {
                 let path = value(&flag)?;
                 let text = std::fs::read_to_string(&path)
@@ -242,6 +282,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.epoch_svg.is_some() && args.epoch.is_none() {
         return Err("--epoch-svg requires --epoch".into());
+    }
+    if args.prof_svg.is_some() && args.prof.is_none() {
+        return Err("--prof-svg requires --prof".into());
     }
     if !args.l2_explicit && args.integration.l2_on_chip() {
         // The off-chip default (8M1w) does not fit on a die; fall back
@@ -387,6 +430,7 @@ fn run_sweep_cli(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut shard: Option<Shard> = None;
     let mut checkpoint: Option<String> = None;
     let mut watchdog: Option<f64> = None;
+    let mut trace_events: Option<String> = None;
     let mut jobs = 1usize;
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -399,6 +443,7 @@ fn run_sweep_cli(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--shard" => shard = Some(Shard::parse(&value("--shard")?)?),
             "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
             "--watchdog" => watchdog = Some(parse_watchdog(&value("--watchdog")?)?),
+            "--trace-events" => trace_events = Some(value("--trace-events")?),
             "--json-report" => json_report = Some(value("--json-report")?),
             "--profile" => profile = true,
             "--quiet" => quiet = true,
@@ -406,7 +451,8 @@ fn run_sweep_cli(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 return Err(format!(
                     "flag '{other}' cannot be combined with --sweep (sweep mode accepts \
                      only --sweep, --jobs, --shard, --checkpoint, --watchdog, --profile, \
-                     --json-report and --quiet; per-run parameters belong in the plan file)"
+                     --trace-events, --json-report and --quiet; per-run parameters belong \
+                     in the plan file)"
                 )
                 .into())
             }
@@ -421,8 +467,8 @@ fn run_sweep_cli(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         shard,
         checkpoint,
         // Timing stays off — and the engine deterministic — unless the
-        // watchdog or the profile explicitly asks for it.
-        time_points: watchdog.is_some() || profile,
+        // watchdog, the profile, or the trace timeline asks for it.
+        time_points: watchdog.is_some() || profile || trace_events.is_some(),
         straggler_mult: watchdog,
         ..SweepConfig::default()
     };
@@ -459,6 +505,29 @@ fn run_sweep_cli(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
         }
+    }
+    if let Some(path) = &trace_events {
+        // One timeline track per worker thread (tid = worker + 1; tid 0
+        // is reserved for whole-run markers), each point a complete
+        // span at its measured offset. Resumed points never executed,
+        // so they appear as a single instant marker at t = 0.
+        let mut doc = TraceDoc::new();
+        if outcome.resumed > 0 {
+            doc.push_instant_ms(
+                &format!("{} point(s) restored from checkpoint", outcome.resumed),
+                "sweep",
+                0.0,
+                0,
+            );
+        }
+        if let Some(timing) = &outcome.timing {
+            for t in &timing.points {
+                doc.push_span_ms(&t.label, "point", t.start_millis, t.millis, t.worker as u64 + 1);
+            }
+        }
+        std::fs::write(path, format!("{}\n", doc.to_json()))
+            .map_err(|e| format!("cannot write trace events '{path}': {e}"))?;
+        eprintln!("trace events: {path} ({} event(s))", doc.len());
     }
     if let Some(path) = &json_report {
         // A shard writes the shard document (input to --sweep-merge);
@@ -594,6 +663,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     if !obs_cfg.is_off() {
         sim.set_observer(Observer::new(obs_cfg));
     }
+    if args.prof.is_some() {
+        // Read-only attribution: the simulated run stays bit-identical
+        // (tests/prof_identity.rs holds csim to that).
+        sim.set_attribution(true);
+    }
     if let Some(path) = &args.fault_plan {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read fault plan '{path}': {e}"))?;
@@ -612,11 +686,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         // from reset to vouch for the run.
         sim.set_sanitize(true);
     }
+    // The host sampler brackets exactly the phases whose wall time the
+    // region markers describe (warmup + measure).
+    let sampler = args.prof_sample_hz.map(HostSampler::start);
     profile.time("warmup", || sim.warm_up(args.warm));
     let rep = match args.strict {
         Some(every) => profile.time("measure", || sim.run_verified(args.meas, every))?,
         None => profile.time("measure", || sim.run(args.meas)),
     };
+    let regions = sampler.map(HostSampler::stop);
+    if let Some(regions) = &regions {
+        eprint!("{}", regions.to_table());
+    }
     if args.sanitize {
         sim.verify_sanitizer()?;
         if let Some(checks) = sim.sanitizer_checks() {
@@ -640,14 +721,45 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             .map_err(|e| format!("cannot write epoch chart '{path}': {e}"))?;
         eprintln!("epoch chart: {path} ({} epochs)", sim.observer().epoch_samples().len());
     }
+    if let Some(path) = &args.prof {
+        // lint: allow(no-panic) — attribution was enabled from this same flag a few lines up
+        let attr = sim.attribution().expect("--prof enables attribution");
+        let manifest = run_manifest(&args, &cfg, workload_seed);
+        let doc = prof_report_json(attr, &manifest);
+        std::fs::write(path, format!("{doc}\n"))
+            .map_err(|e| format!("cannot write prof report '{path}': {e}"))?;
+        eprintln!("prof report: {path}");
+        if let Some(svg_path) = &args.prof_svg {
+            let mut chart = BarChart::new("cycle attribution by miss class (cycles)");
+            for class in MissClass::ALL {
+                if attr.class_count(class) == 0 {
+                    continue;
+                }
+                let mut bar = Bar::new(class.as_str());
+                for comp in Component::ALL {
+                    bar = bar.with(comp.as_str(), attr.cell(class, comp) as f64);
+                }
+                chart.push(bar);
+            }
+            svg::write_file(&chart, svg_path)
+                .map_err(|e| format!("cannot write prof chart '{svg_path}': {e}"))?;
+            eprintln!("prof chart: {svg_path}");
+        }
+    }
+    if let Some(path) = &args.trace_events {
+        let doc = TraceDoc::from_phases(&profile, "csim");
+        std::fs::write(path, format!("{}\n", doc.to_json()))
+            .map_err(|e| format!("cannot write trace events '{path}': {e}"))?;
+        eprintln!("trace events: {path} ({} span(s))", doc.len());
+    }
     if let Some(path) = &args.json_report {
         let manifest = run_manifest(&args, &cfg, workload_seed);
-        let doc = run_report_json(
-            &rep,
-            sim.observer(),
-            &manifest,
-            args.profile.then_some(&profile),
-        );
+        // Wall clock only enters the report when explicitly asked for.
+        let host = (args.profile || regions.is_some()).then(|| HostProfile {
+            phases: profile.clone(),
+            regions: regions.clone(),
+        });
+        let doc = run_report_json(&rep, sim.observer(), &manifest, host.as_ref());
         std::fs::write(path, format!("{doc}\n"))
             .map_err(|e| format!("cannot write report '{path}': {e}"))?;
         eprintln!("report: {path}");

@@ -19,6 +19,10 @@
 //! * [`obs`] — the cycle-level observability layer: per-class latency
 //!   histograms, epoch time-series, structured event tracing, and the
 //!   hand-rolled JSON machinery behind machine-readable run reports.
+//! * [`prof`] — two-sided profiling: exact attribution of simulated
+//!   cycles to hardware components (the paper's breakdown figures),
+//!   a dependency-free host sampling profiler over region markers, and
+//!   Chrome trace-event timeline export.
 //! * [`sim`] — the full-system simulator tying everything together.
 //! * [`stats`] — normalized stacked-bar charts and text tables in the
 //!   paper's reporting style.
@@ -60,6 +64,7 @@ pub use csim_fault as fault;
 pub use csim_noc as noc;
 pub use csim_obs as obs;
 pub use csim_proc as proc;
+pub use csim_prof as prof;
 pub use csim_stats as stats;
 pub use csim_sweep as sweep;
 pub use csim_trace as trace;
@@ -81,6 +86,9 @@ pub mod prelude {
         TraceFilter,
     };
     pub use csim_proc::{ExecBreakdown, StallClass};
+    pub use csim_prof::{
+        prof_report_json, Attribution, Component, HostProfile, HostSampler, RegionReport,
+    };
     pub use csim_stats::{Bar, BarChart, LineChart, Series, TextTable};
     pub use csim_sweep::{
         run_sweep, run_sweep_cfg, PointOutcome, RunSpec, Shard, SweepConfig, SweepError,
