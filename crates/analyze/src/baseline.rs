@@ -1,0 +1,370 @@
+//! The findings-baseline ratchet.
+//!
+//! Strict new rules on a living workspace face a dilemma: land them
+//! watered-down, or block the tree until every historical violation is
+//! annotated. The ratchet is the third option — commit the current
+//! findings as a *baseline* (`analyze-baseline.json`), fail CI only on
+//! findings **not** in it, and rewrite it byte-stably as entries get
+//! fixed. The count can only go down; new debt cannot hide behind old.
+//!
+//! A baseline entry is identified by a **stable fingerprint**: FNV-1a
+//! over `rule + crate + fn-path + whitespace-stripped excerpt`. Line
+//! numbers, file-internal positions, and message wording are excluded
+//! on purpose — moving a function 40 lines down or reformatting its
+//! body must not invalidate the baseline, while any *semantic* change
+//! to the offending line produces a new fingerprint and trips the gate.
+//! The fingerprint is count-insensitive: two identical excerpts in the
+//! same function share one entry (documented, not accidental — the
+//! ratchet tracks *sites of debt*, not occurrences).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use csim_obs::json::Json;
+
+use crate::report::Finding;
+
+/// Schema identifier embedded in every baseline file.
+pub const BASELINE_SCHEMA: &str = "csim-analyze-baseline/v1";
+
+/// One deferred finding in the committed baseline.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Stable fingerprint (identity; see module docs).
+    pub fingerprint: String,
+    /// Rule name, for human context.
+    pub rule: String,
+    /// Workspace-relative file at capture time, for human context.
+    pub file: String,
+    /// Message at capture time, for human context.
+    pub message: String,
+}
+
+/// A committed set of deferred findings.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries sorted by fingerprint, deduplicated.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// The result of diffing current findings against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineDiff {
+    /// Findings whose fingerprint is not in the baseline — these fail
+    /// the gate.
+    pub new: Vec<Finding>,
+    /// Baseline entries no current finding matches — fixed debt, ready
+    /// to be dropped by `--update-baseline`.
+    pub fixed: Vec<BaselineEntry>,
+    /// Current findings covered by the baseline.
+    pub matched: usize,
+}
+
+/// The stable fingerprint of a finding (16 lowercase hex digits).
+pub fn fingerprint(f: &Finding) -> String {
+    let mut h = Fnv::new();
+    h.update(f.rule.as_bytes());
+    h.update(b"\0");
+    h.update(crate_of(&f.file).as_bytes());
+    h.update(b"\0");
+    h.update(f.chain.last().map(String::as_str).unwrap_or("").as_bytes());
+    h.update(b"\0");
+    let normalized: String = f.excerpt.chars().filter(|c| !c.is_whitespace()).collect();
+    h.update(normalized.as_bytes());
+    format!("{:016x}", h.finish())
+}
+
+/// The crate a workspace-relative path belongs to (`crates/<x>/…` →
+/// `<x>`, anything else → `(root)`).
+fn crate_of(file: &str) -> &str {
+    file.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("(root)")
+}
+
+impl Baseline {
+    /// Captures the given findings as a baseline (sorted, deduplicated
+    /// by fingerprint).
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: Vec<BaselineEntry> = findings
+            .iter()
+            .map(|f| BaselineEntry {
+                fingerprint: fingerprint(f),
+                rule: f.rule.clone(),
+                file: f.file.clone(),
+                message: f.message.clone(),
+            })
+            .collect();
+        entries.sort();
+        entries.dedup_by(|a, b| a.fingerprint == b.fingerprint);
+        Baseline { entries }
+    }
+
+    /// Parses a baseline document, validating the schema marker.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = csim_obs::json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(BASELINE_SCHEMA) => {}
+            Some(other) => return Err(format!("unexpected schema `{other}`")),
+            None => return Err("missing `schema` field".into()),
+        }
+        let raw = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("missing `entries` array")?;
+        let mut entries = Vec::with_capacity(raw.len());
+        for e in raw {
+            let field = |k: &str| {
+                e.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("entry missing `{k}`"))
+            };
+            entries.push(BaselineEntry {
+                fingerprint: field("fingerprint")?,
+                rule: field("rule")?,
+                file: field("file")?,
+                message: field("message")?,
+            });
+        }
+        entries.sort();
+        entries.dedup_by(|a, b| a.fingerprint == b.fingerprint);
+        Ok(Baseline { entries })
+    }
+
+    /// The deterministic JSON document.
+    pub fn to_json(&self) -> Json {
+        let entries: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("fingerprint", Json::str(&e.fingerprint)),
+                    ("rule", Json::str(&e.rule)),
+                    ("file", Json::str(&e.file)),
+                    ("message", Json::str(&e.message)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::str(BASELINE_SCHEMA)),
+            ("entries", Json::Arr(entries)),
+        ])
+    }
+
+    /// The exact bytes `--update-baseline` writes (trailing newline so
+    /// the committed file is POSIX-clean and `cmp`-friendly).
+    pub fn to_bytes(&self) -> String {
+        let mut s = self.to_json().to_string();
+        s.push('\n');
+        s
+    }
+
+    /// Diffs current findings against this baseline.
+    pub fn diff(&self, findings: &[Finding]) -> BaselineDiff {
+        let known: BTreeSet<&str> =
+            self.entries.iter().map(|e| e.fingerprint.as_str()).collect();
+        let mut current: BTreeSet<String> = BTreeSet::new();
+        let mut diff = BaselineDiff::default();
+        for f in findings {
+            let fp = fingerprint(f);
+            if known.contains(fp.as_str()) {
+                diff.matched += 1;
+            } else {
+                diff.new.push(f.clone());
+            }
+            current.insert(fp);
+        }
+        diff.fixed = self
+            .entries
+            .iter()
+            .filter(|e| !current.contains(&e.fingerprint))
+            .cloned()
+            .collect();
+        diff
+    }
+}
+
+impl BaselineDiff {
+    /// True when the ratchet holds: no findings outside the baseline.
+    pub fn is_ratchet_clean(&self) -> bool {
+        self.new.is_empty()
+    }
+
+    /// Deterministic JSON section for embedding in the report document.
+    pub fn to_json(&self) -> Json {
+        let new: Vec<Json> = self
+            .new
+            .iter()
+            .map(|f| {
+                Json::obj([
+                    ("fingerprint", Json::str(fingerprint(f))),
+                    ("rule", Json::str(&f.rule)),
+                    ("file", Json::str(&f.file)),
+                    ("line", Json::UInt(f.line as u64)),
+                    ("message", Json::str(&f.message)),
+                ])
+            })
+            .collect();
+        let fixed: Vec<Json> =
+            self.fixed.iter().map(|e| Json::str(&e.fingerprint)).collect();
+        Json::obj([
+            ("matched", Json::UInt(self.matched as u64)),
+            ("new", Json::Arr(new)),
+            ("fixed", Json::Arr(fixed)),
+        ])
+    }
+
+    /// Human summary (what the CLI appends after the report).
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "baseline: {} matched, {} fixed, {} new",
+            self.matched,
+            self.fixed.len(),
+            self.new.len()
+        );
+        for f in &self.new {
+            let _ = writeln!(
+                out,
+                "  NEW {}:{}: [{}] {} ({})",
+                f.file,
+                f.line,
+                f.rule,
+                f.message,
+                fingerprint(f)
+            );
+        }
+        for e in &self.fixed {
+            let _ = writeln!(out, "  fixed {}: [{}] {}", e.fingerprint, e.rule, e.file);
+        }
+        out
+    }
+}
+
+/// FNV-1a, 64-bit (same constants the sweep engine uses for plan
+/// fingerprints — small, fast, dependency-free, stable).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Pass;
+
+    fn finding(file: &str, line: usize, excerpt: &str, chain: &[&str]) -> Finding {
+        Finding {
+            pass: Pass::Concurrency,
+            rule: "atomic-seqcst".into(),
+            file: file.into(),
+            line,
+            message: format!("msg at line {line}"),
+            excerpt: excerpt.into(),
+            chain: chain.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_lines_messages_and_whitespace() {
+        let a = finding("crates/x/src/lib.rs", 10, "  x.load(Ordering::SeqCst);", &["f"]);
+        let b = finding("crates/x/src/lib.rs", 99, "x.load( Ordering :: SeqCst );", &["f"]);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn fingerprint_depends_on_rule_crate_fn_and_excerpt() {
+        let base = finding("crates/x/src/lib.rs", 1, "x.load(SeqCst)", &["f"]);
+        let other_crate = finding("crates/y/src/lib.rs", 1, "x.load(SeqCst)", &["f"]);
+        let other_fn = finding("crates/x/src/lib.rs", 1, "x.load(SeqCst)", &["g"]);
+        let other_code = finding("crates/x/src/lib.rs", 1, "y.load(SeqCst)", &["f"]);
+        let mut other_rule = base.clone();
+        other_rule.rule = "atomic-relaxed-store".into();
+        let fps: Vec<String> = [&base, &other_crate, &other_fn, &other_code, &other_rule]
+            .iter()
+            .map(|f| fingerprint(f))
+            .collect();
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn crate_attribution() {
+        assert_eq!(crate_of("crates/sweep/src/engine.rs"), "sweep");
+        assert_eq!(crate_of("src/main.rs"), "(root)");
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let findings =
+            vec![finding("crates/x/src/lib.rs", 3, "a.load(SeqCst)", &["f"]), {
+                let mut f = finding("crates/x/src/lib.rs", 9, "b.load(SeqCst)", &["g"]);
+                f.rule = "atomic-relaxed-store".into();
+                f
+            }];
+        let b = Baseline::from_findings(&findings);
+        let text = b.to_bytes();
+        assert!(text.ends_with('\n'));
+        let parsed = Baseline::parse(&text).expect("round-trip parses");
+        assert_eq!(parsed, b);
+        assert_eq!(b.to_bytes(), parsed.to_bytes(), "byte-stable");
+        let diff = parsed.diff(&findings);
+        assert!(diff.is_ratchet_clean());
+        assert_eq!(diff.matched, 2);
+        assert!(diff.fixed.is_empty());
+    }
+
+    #[test]
+    fn diff_classifies_new_matched_and_fixed() {
+        let old = vec![finding("crates/x/src/lib.rs", 3, "a.load(SeqCst)", &["f"])];
+        let b = Baseline::from_findings(&old);
+        let now = vec![
+            finding("crates/x/src/lib.rs", 40, "a.load(SeqCst)", &["f"]), // moved: matched
+            finding("crates/x/src/lib.rs", 41, "c.load(SeqCst)", &["f"]), // new
+        ];
+        let diff = b.diff(&now);
+        assert_eq!(diff.matched, 1);
+        assert_eq!(diff.new.len(), 1);
+        assert!(diff.new[0].excerpt.contains("c.load"));
+        assert!(diff.fixed.is_empty());
+
+        let none: Vec<Finding> = Vec::new();
+        let diff2 = b.diff(&none);
+        assert_eq!(diff2.fixed.len(), 1);
+        assert!(diff2.is_ratchet_clean());
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        assert!(Baseline::parse("{\"schema\":\"nope\",\"entries\":[]}").is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+
+    #[test]
+    fn duplicate_sites_collapse_to_one_entry() {
+        let findings = vec![
+            finding("crates/x/src/lib.rs", 3, "a.load(SeqCst)", &["f"]),
+            finding("crates/x/src/lib.rs", 7, "a.load(SeqCst)", &["f"]),
+        ];
+        let b = Baseline::from_findings(&findings);
+        assert_eq!(b.entries.len(), 1, "count-insensitive by design");
+        assert_eq!(b.diff(&findings).matched, 2);
+    }
+}

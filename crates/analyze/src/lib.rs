@@ -5,7 +5,7 @@
 //! workspace into one model — every file lexed with the shared
 //! [`csim_check::lex`] lexer, every function indexed, every
 //! intra-workspace reference recorded — builds a name-based call graph,
-//! and runs four passes over it:
+//! and runs six passes over it:
 //!
 //! 1. [`layering`] — the architecture DAG gate: each crate's observed
 //!    dependencies must stay inside an explicit allowlist, and the
@@ -19,16 +19,29 @@
 //!    export paths (SimReport, JSON writers, sweep merges).
 //! 4. [`deadpub`] — every unrestricted `pub` item must have a consumer
 //!    outside its own crate's shipped sources, or a reasoned escape.
+//! 5. [`concurrency`] — cross-thread discipline: a name-based
+//!    lock-order graph (cycles are potential deadlocks), declared
+//!    relaxed-atomic publication stripes (`// analyze: publish`),
+//!    a `SeqCst`-in-shipped-code ban, and lock-held-across-spawn/join
+//!    detection over the call graph.
+//! 6. [`unwind`] — every `catch_unwind` must carry an
+//!    `// analyze: unwind — reason` contract, and must not reach
+//!    shared-state mutators (checkpoint log, merge accumulators,
+//!    hostprof stripes) without re-validation after the catch.
 //!
 //! Escapes use the same `// lint: allow(rule) — reason` markers as
 //! csim-lint (reasons mandatory, every suppression counted in the
 //! report); traversal boundaries use `// analyze: cold — reason`.
 //! The report serializes as `csim-analyze-report/v1`, byte-stable
 //! across runs, via [`csim_obs::json`]. The `csim-analyze` binary is
-//! the CI entry point.
+//! the CI entry point, and [`baseline`] gives it a findings ratchet:
+//! strict rules land against a committed `analyze-baseline.json` whose
+//! fingerprinted entries may only be fixed, never silently grown.
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
+pub mod concurrency;
 pub mod deadpub;
 pub mod graph;
 pub mod hotpath;
@@ -36,15 +49,17 @@ pub mod layering;
 pub mod model;
 pub mod report;
 pub mod taint;
+pub mod unwind;
 
 use std::io;
 use std::path::Path;
 
+pub use baseline::{Baseline, BaselineDiff, BASELINE_SCHEMA};
 pub use graph::CallGraph;
 pub use model::Workspace;
 pub use report::{AnalysisReport, Finding, Pass, Suppression, REPORT_SCHEMA};
 
-/// Loads the workspace at `root` and runs all four passes.
+/// Loads the workspace at `root` and runs all six passes.
 ///
 /// # Errors
 ///
@@ -90,6 +105,14 @@ pub fn analyze_model(ws: &Workspace) -> AnalysisReport {
     rep.suppressions.extend(s);
 
     let (f, s) = deadpub::run(ws);
+    rep.findings.extend(f);
+    rep.suppressions.extend(s);
+
+    let (f, s) = concurrency::run(ws, &graph);
+    rep.findings.extend(f);
+    rep.suppressions.extend(s);
+
+    let (f, s) = unwind::run(ws, &graph);
     rep.findings.extend(f);
     rep.suppressions.extend(s);
 

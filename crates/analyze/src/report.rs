@@ -25,6 +25,10 @@ pub enum Pass {
     Taint,
     /// Dead-`pub` audit.
     DeadPub,
+    /// Concurrency-discipline pass (lock order, atomics, spawn hygiene).
+    Concurrency,
+    /// Unwind-safety pass (`catch_unwind` contracts and shared state).
+    Unwind,
 }
 
 impl Pass {
@@ -35,6 +39,8 @@ impl Pass {
             Pass::HotPath => "hot-path",
             Pass::Taint => "taint",
             Pass::DeadPub => "dead-pub",
+            Pass::Concurrency => "concurrency",
+            Pass::Unwind => "unwind",
         }
     }
 }

@@ -1,0 +1,138 @@
+//! Property tests for the baseline ratchet, driven by the workspace's
+//! own deterministic [`csim_trace::SimRng`].
+//!
+//! The ratchet's whole value rests on two invariants: fingerprints must
+//! survive the *noise* of refactoring (line shifts, reformatting) while
+//! reacting to *semantic* change, and `--update-baseline` followed by
+//! `--baseline` must always be a no-op gate. Both are checked here over
+//! hundreds of randomized findings rather than a handful of
+//! hand-picked ones.
+
+use csim_analyze::baseline::fingerprint;
+use csim_analyze::report::{Finding, Pass};
+use csim_analyze::{Baseline, BASELINE_SCHEMA};
+use csim_trace::SimRng;
+
+const RULES: &[(&str, Pass)] = &[
+    ("hot-alloc", Pass::HotPath),
+    ("hot-float", Pass::HotPath),
+    ("taint-export", Pass::Taint),
+    ("dead-pub", Pass::DeadPub),
+    ("atomic-relaxed-store", Pass::Concurrency),
+    ("atomic-seqcst", Pass::Concurrency),
+    ("lock-order", Pass::Concurrency),
+    ("lock-across-spawn", Pass::Concurrency),
+    ("unwind-contract", Pass::Unwind),
+    ("unwind-shared-state", Pass::Unwind),
+];
+
+const FILES: &[&str] = &[
+    "crates/core/src/sim.rs",
+    "crates/workload/src/stream.rs",
+    "crates/sweep/src/engine.rs",
+    "crates/trace/src/hostprof.rs",
+    "src/main.rs",
+];
+
+const SNIPPETS: &[&str] = &[
+    "self.buf.push(pack_ref(addr, access, mode));",
+    "flag.store(1, Ordering::Relaxed);",
+    "let guard = shared.lock().unwrap();",
+    "let u: f64 = self.rng.gen_f64();",
+    "let caught = std::panic::catch_unwind(body);",
+];
+
+fn pick<T: Copy>(rng: &mut SimRng, xs: &[T]) -> T {
+    xs[rng.gen_range_usize(0..xs.len())]
+}
+
+fn random_finding(rng: &mut SimRng) -> Finding {
+    let (rule, pass) = pick(rng, RULES);
+    let line = rng.gen_range_usize(1..2000);
+    let depth = rng.gen_range_usize(0..4);
+    Finding {
+        pass,
+        rule: rule.into(),
+        file: pick(rng, FILES).into(),
+        line,
+        message: format!("{rule} at line {line}"),
+        excerpt: pick(rng, SNIPPETS).into(),
+        chain: (0..depth).map(|i| format!("fn_{}_{i}", rng.gen_range(0..50))).collect(),
+    }
+}
+
+/// Re-indents and sprinkles interior whitespace — the edits a formatter
+/// or a refactor makes without touching semantics.
+fn reformat(rng: &mut SimRng, f: &Finding) -> Finding {
+    let mut out = f.clone();
+    out.line = rng.gen_range_usize(1..5000);
+    out.message = format!("{} at line {}", f.rule, out.line);
+    let mut excerpt = String::new();
+    for _ in 0..rng.gen_range_usize(0..8) {
+        excerpt.push(' ');
+    }
+    for c in f.excerpt.chars() {
+        excerpt.push(c);
+        if c == ',' || c == '(' {
+            for _ in 0..rng.gen_range_usize(0..3) {
+                excerpt.push(' ');
+            }
+        }
+    }
+    out.excerpt = excerpt;
+    out
+}
+
+#[test]
+fn fingerprints_survive_line_shifts_and_reformatting() {
+    let mut rng = SimRng::seed_from_u64(0x5eed_ba5e_11e5);
+    for _ in 0..500 {
+        let f = random_finding(&mut rng);
+        let shifted = reformat(&mut rng, &f);
+        assert_eq!(
+            fingerprint(&f),
+            fingerprint(&shifted),
+            "noise must not move the fingerprint: {f:?} vs {shifted:?}"
+        );
+    }
+}
+
+#[test]
+fn fingerprints_react_to_semantic_change() {
+    let mut rng = SimRng::seed_from_u64(0xd15c_0b01);
+    let mut hits = 0;
+    for _ in 0..500 {
+        let f = random_finding(&mut rng);
+        let mut changed = f.clone();
+        changed.excerpt = format!("{}_mutated", f.excerpt);
+        assert_ne!(fingerprint(&f), fingerprint(&changed));
+        hits += 1;
+    }
+    assert_eq!(hits, 500);
+}
+
+#[test]
+fn update_then_diff_round_trips_to_zero_new_findings() {
+    let mut rng = SimRng::seed_from_u64(0xba5e_11e5);
+    for trial in 0..50 {
+        let count = rng.gen_range_usize(0..40);
+        let findings: Vec<Finding> = (0..count).map(|_| random_finding(&mut rng)).collect();
+
+        // `--update-baseline` … write … read … `--baseline`.
+        let captured = Baseline::from_findings(&findings);
+        let bytes = captured.to_bytes();
+        assert!(bytes.starts_with(&format!("{{\"schema\":\"{BASELINE_SCHEMA}\"")), "{bytes}");
+        let reloaded = Baseline::parse(&bytes).expect("written baseline parses");
+        assert_eq!(reloaded.to_bytes(), bytes, "byte-stable round trip (trial {trial})");
+
+        let diff = reloaded.diff(&findings);
+        assert!(diff.is_ratchet_clean(), "trial {trial}: {:?}", diff.new);
+        assert_eq!(diff.matched, findings.len());
+        assert!(diff.fixed.is_empty());
+
+        // The reformatted workspace still diffs clean against the same
+        // baseline — the gate cannot be tripped by a formatter run.
+        let shifted: Vec<Finding> = findings.iter().map(|f| reformat(&mut rng, f)).collect();
+        assert!(reloaded.diff(&shifted).is_ratchet_clean(), "trial {trial}");
+    }
+}

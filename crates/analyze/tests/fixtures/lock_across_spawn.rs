@@ -1,0 +1,10 @@
+//! A mutex guard held while spawning a thread — if the spawned worker
+//! ever wants `shared`, this deadlocks; the pass must flag the shape.
+
+use std::sync::Mutex;
+
+pub fn fixture_spawn_under_lock(shared: &'static Mutex<u32>) {
+    let guard = shared.lock().unwrap();
+    std::thread::spawn(move || {});
+    drop(guard);
+}

@@ -1,0 +1,17 @@
+//! Deliberate lock-order inversion: `fixture_forward` acquires `alpha`
+//! then `beta`, `fixture_backward` acquires `beta` then `alpha` — the
+//! classic ABBA deadlock shape the lock-order graph must catch.
+
+use std::sync::Mutex;
+
+pub fn fixture_forward(alpha: &Mutex<u32>, beta: &Mutex<u32>) -> u32 {
+    let a = alpha.lock().unwrap();
+    let b = beta.lock().unwrap();
+    *a + *b
+}
+
+pub fn fixture_backward(alpha: &Mutex<u32>, beta: &Mutex<u32>) -> u32 {
+    let b = beta.lock().unwrap();
+    let a = alpha.lock().unwrap();
+    *a + *b
+}

@@ -1,0 +1,13 @@
+//! One undeclared relaxed publication (must fire) next to a declared
+//! one (must stay clean) — the publish-marker discipline end to end.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn fixture_unreasoned_publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::Relaxed);
+}
+
+pub fn fixture_reasoned_publish(flag: &AtomicU64) {
+    // analyze: publish — monotonic progress counter; readers tolerate arbitrary staleness
+    flag.store(2, Ordering::Relaxed);
+}

@@ -1,0 +1,8 @@
+//! `SeqCst` in shipped code — the workspace contract is
+//! acquire/release or reasoned-relaxed, so this must fire.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn fixture_seqcst_read(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::SeqCst)
+}

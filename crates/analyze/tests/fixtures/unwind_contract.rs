@@ -1,0 +1,6 @@
+//! A `catch_unwind` with no `// analyze: unwind — reason` contract —
+//! the boundary exists but nobody wrote down what may be torn.
+
+pub fn fixture_bare_catch() -> bool {
+    std::panic::catch_unwind(|| true).unwrap_or(false)
+}

@@ -1,0 +1,14 @@
+//! A *contracted* catch that can still reach a shared-state mutator
+//! (the hostprof stripe writer, by policy name) with no re-validation
+//! after the catch — the torn-state shape the pass exists for.
+
+pub fn fixture_catch_reaches_stripes() {
+    // analyze: unwind — fixture contract: claims only scratch may be torn (the pass must prove otherwise)
+    let _ = std::panic::catch_unwind(|| fixture_step());
+}
+
+fn fixture_step() {
+    set_region(3);
+}
+
+fn set_region(_region: u8) {}

@@ -366,6 +366,23 @@ pub enum MarkerKind {
         /// Why the boundary is legitimate (empty ⇒ marker is inert).
         reason: String,
     },
+    /// `// analyze: publish — reason` — the relaxed atomic store on (or
+    /// just below) this line is a declared publication stripe: a value
+    /// intentionally published without ordering because no reader
+    /// derives cross-field invariants from it. The reason is mandatory;
+    /// a bare `publish` declares nothing.
+    Publish {
+        /// Why relaxed publication is sound here (empty ⇒ inert).
+        reason: String,
+    },
+    /// `// analyze: unwind — reason` — the `catch_unwind` on (or just
+    /// below) this line is a declared panic boundary: the comment states
+    /// what state the catch protects and why resuming is sound. The
+    /// reason is mandatory; a bare `unwind` declares nothing.
+    Unwind {
+        /// Why the panic boundary is sound (empty ⇒ inert).
+        reason: String,
+    },
 }
 
 /// A directive plus the 1-based line it sits on.
@@ -406,6 +423,16 @@ pub fn markers(source: &str) -> Vec<Marker> {
                 out.push(Marker { line: tok.line, kind: MarkerKind::Hot });
             } else if let Some(r) = rest.strip_prefix("cold") {
                 out.push(Marker { line: tok.line, kind: MarkerKind::Cold { reason: trim_reason(r) } });
+            } else if let Some(r) = rest.strip_prefix("publish") {
+                out.push(Marker {
+                    line: tok.line,
+                    kind: MarkerKind::Publish { reason: trim_reason(r) },
+                });
+            } else if let Some(r) = rest.strip_prefix("unwind") {
+                out.push(Marker {
+                    line: tok.line,
+                    kind: MarkerKind::Unwind { reason: trim_reason(r) },
+                });
             }
         }
     }
@@ -512,6 +539,29 @@ fn refill() {}
             if rule == "no-panic" && reason == "real escape"));
         assert!(matches!(m[1].kind, MarkerKind::Hot) && m[1].line == 3);
         assert!(matches!(&m[2].kind, MarkerKind::Cold { reason } if reason.contains("slow path")));
+    }
+
+    #[test]
+    fn publish_and_unwind_markers_parse_with_reasons() {
+        let src = "\
+// analyze: publish — monotonic counter, readers tolerate staleness
+x.store(1, Ordering::Relaxed);
+// analyze: unwind — worker boundary; queue state has no cross-field invariants
+let r = std::panic::catch_unwind(|| run());
+// analyze: publish
+y.store(2, Ordering::Relaxed);
+";
+        let m = markers(src);
+        assert_eq!(m.len(), 3, "{m:?}");
+        assert!(matches!(&m[0].kind, MarkerKind::Publish { reason }
+            if reason.contains("monotonic counter")));
+        assert_eq!(m[0].line, 1);
+        assert!(matches!(&m[1].kind, MarkerKind::Unwind { reason }
+            if reason.contains("worker boundary")));
+        assert_eq!(m[1].line, 3);
+        // Reasonless markers parse but carry an empty reason — callers
+        // treat that as inert, exactly like reasonless `cold`.
+        assert!(matches!(&m[2].kind, MarkerKind::Publish { reason } if reason.is_empty()));
     }
 
     #[test]

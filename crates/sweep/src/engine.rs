@@ -470,6 +470,7 @@ fn run_point(
 ) -> PointOutcome {
     let mut attempts = 0u32;
     loop {
+        // analyze: unwind — point isolation: the executor builds the point's outcome in locals, so a panic can tear only per-point scratch; shared state (checkpoint log, merge accumulators) is written by the coordinator after this boundary returns
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exec(index, spec)));
         let error = match caught {
             Ok(Ok(outcome)) => return PointOutcome::Run(outcome),

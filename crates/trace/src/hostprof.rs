@@ -116,6 +116,7 @@ fn stripe_index() -> usize {
 // analyze: hot
 #[inline]
 pub fn set_region(region: Region) {
+    // analyze: publish — per-thread region stripe; the sampler tolerates stale reads by design and the stripe is never read back for control flow
     SLOTS[stripe_index()].0.store(region as u8, Ordering::Relaxed);
 }
 

@@ -704,6 +704,7 @@ impl NodeWorkload {
             self.push_data(addr, true, ExecMode::Kernel);
         }
         self.touch_lock(LockKind::LogControl, 0);
+        // analyze: publish — commit-batch counter reset; peers only compare it against the batch threshold, so a stale read merely delays one lgwr burst
         self.shared.pending_commits.store(0, Relaxed);
     }
 
@@ -748,6 +749,11 @@ impl NodeWorkload {
         csim_trace::hostprof::set_region(enclosing);
     }
 
+    // Hot by measurement, not position: host profiling attributes ~28%
+    // of simulator wall time to burst refill (ROADMAP item 1), so the
+    // purity lint fences it ahead of the optimization PR. Allocation
+    // findings below this root are deferred via analyze-baseline.json.
+    // analyze: hot
     fn refill_burst(&mut self) {
         debug_assert!(self.buf.is_empty());
         if self.runs_lgwr
