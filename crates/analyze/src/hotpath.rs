@@ -126,8 +126,15 @@ fn is_float_literal(text: &str) -> bool {
     if text.ends_with("f32") || text.ends_with("f64") {
         return true;
     }
-    // Decimal exponent (`1e9`), excluding hex digits' `e`.
-    text.bytes().any(|b| b == b'e' || b == b'E')
+    // An integer suffix's letters are not a decimal exponent — `0usize`
+    // and `1isize` carry an `e` but denote integers. Strip the suffix
+    // (longest first, so `u128` wins over `u8`) before scanning for
+    // `1e9`-style forms.
+    const INT_SUFFIXES: [&str; 12] = [
+        "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+    ];
+    let digits = INT_SUFFIXES.iter().find_map(|s| text.strip_suffix(s)).unwrap_or(text);
+    digits.bytes().any(|b| b == b'e' || b == b'E')
 }
 
 fn scan_fn(
@@ -355,5 +362,10 @@ fn table(x: u64) -> Option<u64> { Some(x) }
         assert!(is_float_literal("1.5"));
         assert!(is_float_literal("1e9"));
         assert!(is_float_literal("2f64"));
+        // The `e` in an integer suffix is not an exponent.
+        assert!(!is_float_literal("0usize"));
+        assert!(!is_float_literal("3isize"));
+        assert!(!is_float_literal("7u8"));
+        assert!(!is_float_literal("9u128"));
     }
 }

@@ -50,28 +50,22 @@ fn the_workspace_is_ratchet_clean() {
 }
 
 #[test]
-fn the_baseline_carries_only_deferred_hot_path_debt() {
-    // PR 8 deferred exactly one cluster: hot-path findings below the
-    // newly hot burst-refill root (ROADMAP item 1), pending the
-    // optimization PR. Anything else showing up in the committed
-    // baseline is new debt hiding behind the ratchet — fix it or
-    // annotate it instead.
+fn the_baseline_is_empty() {
+    // PR 8 deferred exactly one cluster — hot-path findings below the
+    // burst-refill root — pending the optimization PR. That PR landed
+    // (the refill cone is integer-only and allocation-free; DESIGN.md
+    // par.16), the debt is paid, and the ratchet is fully tightened:
+    // the committed baseline must stay empty. A finding that cannot be
+    // fixed gets a reasoned `// lint: allow` or `// analyze: cold`
+    // annotation at the site, where reviewers see it — not a baseline
+    // entry, where they don't.
     let b = committed_baseline();
-    assert!(!b.entries.is_empty(), "the deferred hot-path debt should still exist");
-    for e in &b.entries {
-        assert!(
-            e.rule == "hot-alloc" || e.rule == "hot-float",
-            "baseline entry {} has rule `{}` — only deferred hot-path debt may be baselined",
-            e.fingerprint,
-            e.rule
-        );
-        assert!(
-            ["crates/workload/", "crates/trace/"].iter().any(|p| e.file.starts_with(p)),
-            "baseline entry {} is in `{}` — outside the burst-refill cone",
-            e.fingerprint,
-            e.file
-        );
-    }
+    assert!(
+        b.entries.is_empty(),
+        "analyze-baseline.json must stay empty — fix or annotate at the site instead of \
+         re-deferring:\n{:?}",
+        b.entries
+    );
 }
 
 #[test]

@@ -1,19 +1,28 @@
-//! The set-associative cache model (packed hot-path implementation).
+//! The set-associative cache model (struct-of-arrays hot-path
+//! implementation).
 //!
-//! Every probe in the simulator's inner loop lands here, so the slot array
-//! is stored as packed `u64` words rather than a struct per slot:
+//! Every probe in the simulator's inner loop lands here. The previous
+//! packed layout (dirty bit folded into the tag word) made every probe
+//! pay a mask before the compare and every hit an unconditional
+//! read-modify-write store to refresh the dirty bit — `kernel_attribution`
+//! in BENCH_sweep.json localized ~99% of kernel time to exactly that
+//! arithmetic. The slots are now split into parallel arrays:
 //!
 //! ```text
-//! valid slot:  bit 63 = dirty, bits 62..0 = line address
-//! empty slot:  u64::MAX (sentinel — its tag bits are all-ones, which is
-//!              outside the legal line-address range, so the probe loop
-//!              needs no separate `valid` test)
+//! tags[i]:  raw line address, or u64::MAX for an empty slot (the
+//!           sentinel is outside the legal line range `line < 2^63 - 1`,
+//!           so the probe needs no valid bit and no mask — a hit is a
+//!           bare `tags[i] == line` compare)
+//! dirty[i]: 0 or 1, touched only by writes and coherence operations
 //! ```
 //!
-//! Set lookup uses a mask when the set count is a power of two and falls
-//! back to modulo otherwise (the paper's 1.25 MB 4-way L2 has 5120 sets).
+//! Set lookup uses a mask when the set count is a power of two and a
+//! precomputed reciprocal multiply-shift otherwise (the paper's 1.25 MB
+//! 4-way L2 has 5120 sets — no hardware divide on the probe path).
 //! Direct-mapped and 2-way sets — the L1s and several of the paper's L2
-//! points — skip the general LRU rotate entirely.
+//! points — skip the general LRU rotate entirely; the ≥4-way scan
+//! compares the whole set unconditionally so the compiler can vectorize
+//! the tag compare.
 //!
 //! Semantics are bit-identical to the retained seed implementation
 //! ([`crate::ReferenceCache`]); `tests/sweep_identity.rs` proves it on a
@@ -51,19 +60,14 @@ pub struct Evicted {
     pub dirty: bool,
 }
 
-/// Dirty flag lives in the top bit of a packed slot word.
-const DIRTY_BIT: u64 = 1 << 63;
-/// Low 63 bits of a packed slot word hold the line address.
-const TAG_MASK: u64 = !DIRTY_BIT;
-/// Sentinel for an empty slot. Its tag bits are all-ones — outside the
-/// legal line-address range (`line < TAG_MASK`), so `word & TAG_MASK ==
-/// line` can never match an empty slot and the probe needs no valid bit.
+/// Upper bound (exclusive) on legal line addresses: `2^63 - 1`. Keeps the
+/// empty sentinel unambiguous and the reciprocal set index exact (the
+/// multiply-shift below is proven for dividends under `2^63`).
+const TAG_MASK: u64 = !(1 << 63);
+/// Sentinel tag for an empty slot — outside the legal line-address range
+/// (`line < TAG_MASK`), so `tags[i] == line` can never match an empty slot
+/// and the probe needs no valid bit.
 const EMPTY_SLOT: u64 = u64::MAX;
-
-#[inline(always)]
-fn pack(line: u64, dirty: bool) -> u64 {
-    line | (u64::from(dirty) << 63)
-}
 
 /// A set-associative, write-back, write-allocate cache with true LRU
 /// replacement.
@@ -72,13 +76,15 @@ fn pack(line: u64, dirty: bool) -> u64 {
 /// order; a hit rotates the slot to the front, an insertion evicts the last
 /// slot when the set is full.
 ///
-/// The number of sets need not be a power of two (indexing is modulo), so
-/// fractional-megabyte caches such as the 1.25 MB L2 of the paper's Figure
-/// 12 are supported; power-of-two set counts take a mask fast path.
+/// The number of sets need not be a power of two (indexing divides by a
+/// precomputed reciprocal), so fractional-megabyte caches such as the
+/// 1.25 MB L2 of the paper's Figure 12 are supported; power-of-two set
+/// counts take a mask fast path.
 ///
-/// Line addresses must be below `2^63 - 1` (the top bit packs the dirty
-/// flag and the all-ones word is the empty sentinel). The simulator's
-/// address map stays far below that; the bound is debug-asserted.
+/// Line addresses must be below `2^63 - 1` (the all-ones word is the
+/// empty-tag sentinel, and the reciprocal set index is exact only below
+/// `2^63`). The simulator's address map stays far below that; the bound
+/// is debug-asserted.
 #[derive(Clone, Debug)]
 pub struct Cache {
     geometry: CacheGeometry,
@@ -88,8 +94,18 @@ pub struct Cache {
     set_mask: u64,
     /// Whether `set_mask` is valid (power-of-two set count).
     pow2: bool,
-    /// Packed slot words, `n_sets * assoc` long, MRU-first within each set.
-    slots: Vec<u64>,
+    /// Round-up reciprocal of `n_sets` for the non-pow2 set index:
+    /// `floor(2^(64+sh) / n_sets) + 1`. Zero (unused) when `pow2`.
+    recip_m: u64,
+    /// `floor(log2(n_sets))` — the post-multiply shift paired with
+    /// `recip_m`.
+    recip_sh: u32,
+    /// Line-address tags, `n_sets * assoc` long, MRU-first within each
+    /// set; [`EMPTY_SLOT`] marks a free slot.
+    tags: Vec<u64>,
+    /// Dirty flags (0/1), parallel to `tags`. Split out so the probe's
+    /// tag compare carries no state bits and read hits store nothing.
+    dirty: Vec<u8>,
     /// Live count of valid lines, maintained by insert/invalidate so
     /// [`Cache::occupancy`] is O(1) instead of an O(capacity) scan.
     valid_count: usize,
@@ -112,13 +128,31 @@ impl Cache {
         let n_sets = geometry.sets() as usize;
         let assoc = geometry.assoc() as usize;
         let pow2 = n_sets.is_power_of_two();
+        let (recip_m, recip_sh) = if pow2 {
+            (0, 0)
+        } else {
+            // Round-up reciprocal (Granlund–Montgomery): with
+            // sh = floor(log2 d) and m = floor(2^(64+sh) / d) + 1,
+            // floor((line * m) >> (64 + sh)) == line / d exactly for all
+            // line < 2^63 (the error term e·line/2^(64+sh) with
+            // e = m·d - 2^(64+sh) <= d stays below 1 on that domain).
+            // m fits in u64 because d is not a power of two, so
+            // d >= 2^sh + 1 and m <= 2^(64+sh)/(2^sh+1) + 1 < 2^64.
+            let d = n_sets as u64;
+            let sh = 63 - d.leading_zeros();
+            let m = ((1u128 << (64 + sh)) / u128::from(d) + 1) as u64;
+            (m, sh)
+        };
         Cache {
             geometry,
             n_sets,
             assoc,
             set_mask: n_sets as u64 - 1,
             pow2,
-            slots: vec![EMPTY_SLOT; n_sets * assoc],
+            recip_m,
+            recip_sh,
+            tags: vec![EMPTY_SLOT; n_sets * assoc],
+            dirty: vec![0; n_sets * assoc],
             valid_count: 0,
             stats: CacheStats::default(),
         }
@@ -142,15 +176,18 @@ impl Cache {
     }
 
     /// First slot index of the set the line maps to. Power-of-two set
-    /// counts use a mask; others (e.g. the 1.25 MB L2's 5120 sets) pay the
-    /// modulo. The branch is perfectly predicted — it goes the same way for
-    /// the lifetime of a cache instance.
+    /// counts use a mask; others (e.g. the 1.25 MB L2's 5120 sets) use the
+    /// precomputed reciprocal — a widening multiply and two shifts instead
+    /// of a hardware divide on every probe. The branch is perfectly
+    /// predicted — it goes the same way for the lifetime of a cache
+    /// instance.
     #[inline(always)]
     fn set_start(&self, line: u64) -> usize {
         let set = if self.pow2 {
             (line & self.set_mask) as usize
         } else {
-            (line % self.n_sets as u64) as usize
+            let q = ((u128::from(line) * u128::from(self.recip_m)) >> 64) as u64 >> self.recip_sh;
+            (line - q * self.n_sets as u64) as usize
         };
         set * self.assoc
     }
@@ -161,51 +198,128 @@ impl Cache {
     // analyze: hot
     #[inline]
     pub fn access(&mut self, line: u64, write: bool) -> Outcome {
-        debug_assert!(line < TAG_MASK, "line {line:#x} exceeds the packable tag range");
+        debug_assert!(line < TAG_MASK, "line {line:#x} exceeds the legal tag range");
         let start = self.set_start(line);
-        let dirty_or = u64::from(write) << 63;
         match self.assoc {
-            // Direct-mapped: no LRU state to rotate.
+            // Direct-mapped: one bare compare; a read hit stores nothing
+            // (the packed layout's unconditional dirty-refresh store was
+            // the single largest probe cost).
             1 => {
-                let w = self.slots[start];
-                if w & TAG_MASK == line {
-                    self.slots[start] = w | dirty_or;
+                if self.tags[start] == line {
+                    if write {
+                        self.dirty[start] = 1;
+                    }
                     self.stats.record_hit(write);
                     return Outcome::Hit;
                 }
             }
             // 2-way: the rotate is a swap (or a no-op on an MRU hit).
             2 => {
-                let w0 = self.slots[start];
-                if w0 & TAG_MASK == line {
-                    self.slots[start] = w0 | dirty_or;
+                if self.tags[start] == line {
+                    if write {
+                        self.dirty[start] = 1;
+                    }
                     self.stats.record_hit(write);
                     return Outcome::Hit;
                 }
-                let w1 = self.slots[start + 1];
-                if w1 & TAG_MASK == line {
-                    self.slots[start] = w1 | dirty_or;
-                    self.slots[start + 1] = w0;
+                if self.tags[start + 1] == line {
+                    self.tags[start + 1] = self.tags[start];
+                    self.tags[start] = line;
+                    let d = self.dirty[start + 1] | u8::from(write);
+                    self.dirty[start + 1] = self.dirty[start];
+                    self.dirty[start] = d;
                     self.stats.record_hit(write);
                     return Outcome::Hit;
                 }
             }
             _ => {
-                let set = &mut self.slots[start..start + self.assoc];
-                for i in 0..set.len() {
-                    if set[i] & TAG_MASK == line {
-                        let slot = set[i] | dirty_or;
-                        // Rotate to MRU position.
-                        set.copy_within(0..i, 1);
-                        set[0] = slot;
-                        self.stats.record_hit(write);
-                        return Outcome::Hit;
+                // Scan the whole set unconditionally: at most one slot can
+                // match, so last-match == the match, and the branch-free
+                // body lets the compiler vectorize the tag compare.
+                let set = &self.tags[start..start + self.assoc];
+                let mut hit = usize::MAX;
+                for (i, &t) in set.iter().enumerate() {
+                    if t == line {
+                        hit = i;
                     }
+                }
+                if hit != usize::MAX {
+                    let d = self.dirty[start + hit] | u8::from(write);
+                    // Rotate both arrays to the MRU position.
+                    self.tags.copy_within(start..start + hit, start + 1);
+                    self.dirty.copy_within(start..start + hit, start + 1);
+                    self.tags[start] = line;
+                    self.dirty[start] = d;
+                    self.stats.record_hit(write);
+                    return Outcome::Hit;
                 }
             }
         }
         self.stats.record_miss(write);
         Outcome::Miss
+    }
+
+    /// `access(line, true)` fused with the pre-store `is_dirty(line)`
+    /// read: probes once and also returns whether the line was already
+    /// dirty *before* this store marked it. Counters, LRU movement and
+    /// the final dirty state are exactly those of the unfused pair
+    /// (`is_dirty` mutates nothing); on a miss the second component is
+    /// `false`, as `is_dirty` reports for an absent line. The simulator
+    /// uses this for the uniprocessor store-ownership shortcut, where
+    /// the separate `is_dirty` probe was a measurable second walk of the
+    /// set.
+    // analyze: hot
+    #[inline]
+    pub fn access_store_was_dirty(&mut self, line: u64) -> (Outcome, bool) {
+        debug_assert!(line < TAG_MASK, "line {line:#x} exceeds the legal tag range");
+        let start = self.set_start(line);
+        match self.assoc {
+            1 => {
+                if self.tags[start] == line {
+                    let was = self.dirty[start] != 0;
+                    self.dirty[start] = 1;
+                    self.stats.record_hit(true);
+                    return (Outcome::Hit, was);
+                }
+            }
+            2 => {
+                if self.tags[start] == line {
+                    let was = self.dirty[start] != 0;
+                    self.dirty[start] = 1;
+                    self.stats.record_hit(true);
+                    return (Outcome::Hit, was);
+                }
+                if self.tags[start + 1] == line {
+                    let was = self.dirty[start + 1] != 0;
+                    self.tags[start + 1] = self.tags[start];
+                    self.tags[start] = line;
+                    self.dirty[start + 1] = self.dirty[start];
+                    self.dirty[start] = 1;
+                    self.stats.record_hit(true);
+                    return (Outcome::Hit, was);
+                }
+            }
+            _ => {
+                let set = &self.tags[start..start + self.assoc];
+                let mut hit = usize::MAX;
+                for (i, &t) in set.iter().enumerate() {
+                    if t == line {
+                        hit = i;
+                    }
+                }
+                if hit != usize::MAX {
+                    let was = self.dirty[start + hit] != 0;
+                    self.tags.copy_within(start..start + hit, start + 1);
+                    self.dirty.copy_within(start..start + hit, start + 1);
+                    self.tags[start] = line;
+                    self.dirty[start] = 1;
+                    self.stats.record_hit(true);
+                    return (Outcome::Hit, was);
+                }
+            }
+        }
+        self.stats.record_miss(true);
+        (Outcome::Miss, false)
     }
 
     /// Records a read hit without probing the set.
@@ -223,12 +337,22 @@ impl Cache {
         self.stats.record_hit(false);
     }
 
+    /// Records `n` read hits without probing the set — the batched form
+    /// of [`Cache::record_repeat_read_hit`], under the same contract,
+    /// for a run of back-to-back fetches of one resident line. Counters
+    /// are integers, so one `+= n` equals `n` single hits exactly.
+    // analyze: hot
+    #[inline]
+    pub fn record_repeat_read_hits(&mut self, n: u64) {
+        self.stats.record_hits(n);
+    }
+
     /// Checks for presence without touching LRU state or statistics.
     // analyze: hot
     #[inline]
     pub fn contains(&self, line: u64) -> bool {
         let start = self.set_start(line);
-        self.slots[start..start + self.assoc].iter().any(|&w| w & TAG_MASK == line)
+        self.tags[start..start + self.assoc].contains(&line)
     }
 
     /// Whether the line is present and modified. `false` when absent.
@@ -236,9 +360,10 @@ impl Cache {
     #[inline]
     pub fn is_dirty(&self, line: u64) -> bool {
         let start = self.set_start(line);
-        self.slots[start..start + self.assoc]
-            .iter()
-            .any(|&w| w & TAG_MASK == line && w & DIRTY_BIT != 0)
+        match self.tags[start..start + self.assoc].iter().position(|&t| t == line) {
+            Some(i) => self.dirty[start + i] != 0,
+            None => false,
+        }
     }
 
     /// Installs a line at the MRU position, evicting the LRU slot if the
@@ -251,34 +376,40 @@ impl Cache {
     // analyze: hot
     #[inline]
     pub fn insert(&mut self, line: u64, dirty: bool) -> Option<Evicted> {
-        debug_assert!(line < TAG_MASK, "line {line:#x} exceeds the packable tag range");
+        debug_assert!(line < TAG_MASK, "line {line:#x} exceeds the legal tag range");
         debug_assert!(!self.contains(line), "inserting line {line:#x} that is already cached");
         let start = self.set_start(line);
-        let new = pack(line, dirty);
         if self.assoc == 1 {
-            let victim = self.slots[start];
-            self.slots[start] = new;
-            return self.account_insert(victim);
+            let victim_tag = self.tags[start];
+            let victim_dirty = self.dirty[start];
+            self.tags[start] = line;
+            self.dirty[start] = u8::from(dirty);
+            return self.account_insert(victim_tag, victim_dirty);
         }
-        let set = &mut self.slots[start..start + self.assoc];
         // Prefer an invalid slot; otherwise evict LRU (last). Valid slots
         // always precede empty ones (invalidate compacts), so `position`
         // finds the frontmost free slot.
-        let victim_idx = set.iter().position(|&w| w == EMPTY_SLOT).unwrap_or(set.len() - 1);
-        let victim = set[victim_idx];
-        set.copy_within(0..victim_idx, 1);
-        set[0] = new;
-        self.account_insert(victim)
+        let victim_idx = self.tags[start..start + self.assoc]
+            .iter()
+            .position(|&t| t == EMPTY_SLOT)
+            .unwrap_or(self.assoc - 1);
+        let victim_tag = self.tags[start + victim_idx];
+        let victim_dirty = self.dirty[start + victim_idx];
+        self.tags.copy_within(start..start + victim_idx, start + 1);
+        self.dirty.copy_within(start..start + victim_idx, start + 1);
+        self.tags[start] = line;
+        self.dirty[start] = u8::from(dirty);
+        self.account_insert(victim_tag, victim_dirty)
     }
 
     /// Shared insert bookkeeping: stats, live occupancy count, and the
     /// evicted-line report.
     #[inline]
-    fn account_insert(&mut self, victim: u64) -> Option<Evicted> {
-        if victim != EMPTY_SLOT {
-            let dirty = victim & DIRTY_BIT != 0;
+    fn account_insert(&mut self, victim_tag: u64, victim_dirty: u8) -> Option<Evicted> {
+        if victim_tag != EMPTY_SLOT {
+            let dirty = victim_dirty != 0;
             self.stats.record_eviction(dirty);
-            Some(Evicted { line: victim & TAG_MASK, dirty })
+            Some(Evicted { line: victim_tag, dirty })
         } else {
             self.valid_count += 1;
             None
@@ -288,14 +419,15 @@ impl Cache {
     /// Removes a line. Returns `Some(dirty)` when it was present.
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
         let start = self.set_start(line);
-        let set = &mut self.slots[start..start + self.assoc];
-        for i in 0..set.len() {
-            if set[i] & TAG_MASK == line {
-                let dirty = set[i] & DIRTY_BIT != 0;
+        let end = start + self.assoc;
+        for i in start..end {
+            if self.tags[i] == line {
+                let dirty = self.dirty[i] != 0;
                 // Compact: shift later (less recent) slots up, free the LRU end.
-                set.copy_within(i + 1.., i);
-                let last = set.len() - 1;
-                set[last] = EMPTY_SLOT;
+                self.tags.copy_within(i + 1..end, i);
+                self.dirty.copy_within(i + 1..end, i);
+                self.tags[end - 1] = EMPTY_SLOT;
+                self.dirty[end - 1] = 0;
                 self.valid_count -= 1;
                 self.stats.record_invalidation();
                 return Some(dirty);
@@ -309,9 +441,9 @@ impl Cache {
     #[inline]
     pub fn clean(&mut self, line: u64) -> bool {
         let start = self.set_start(line);
-        for w in &mut self.slots[start..start + self.assoc] {
-            if *w & TAG_MASK == line {
-                *w &= TAG_MASK;
+        for i in start..start + self.assoc {
+            if self.tags[i] == line {
+                self.dirty[i] = 0;
                 return true;
             }
         }
@@ -323,9 +455,9 @@ impl Cache {
     #[inline]
     pub fn mark_dirty(&mut self, line: u64) -> bool {
         let start = self.set_start(line);
-        for w in &mut self.slots[start..start + self.assoc] {
-            if *w & TAG_MASK == line {
-                *w |= DIRTY_BIT;
+        for i in start..start + self.assoc {
+            if self.tags[i] == line {
+                self.dirty[i] = 1;
                 return true;
             }
         }
@@ -338,8 +470,8 @@ impl Cache {
     pub fn occupancy(&self) -> usize {
         debug_assert_eq!(
             self.valid_count,
-            self.slots.iter().filter(|&&w| w != EMPTY_SLOT).count(),
-            "live valid_count diverged from the slot array"
+            self.tags.iter().filter(|&&t| t != EMPTY_SLOT).count(),
+            "live valid_count diverged from the tag array"
         );
         self.valid_count
     }
@@ -347,7 +479,7 @@ impl Cache {
     /// Iterates over all resident line addresses (MRU-first within each
     /// set; for tests and reporting).
     pub fn resident_lines(&self) -> impl Iterator<Item = u64> + '_ {
-        self.slots.iter().filter(|&&w| w != EMPTY_SLOT).map(|&w| w & TAG_MASK)
+        self.tags.iter().copied().filter(|&t| t != EMPTY_SLOT)
     }
 }
 
@@ -514,9 +646,34 @@ mod tests {
     }
 
     #[test]
+    fn reciprocal_set_index_matches_modulo() {
+        // The strength-reduced non-pow2 set index must equal the plain
+        // modulo for every geometry the sweep can construct, across the
+        // whole debug-asserted line domain (spot-checked at the extremes).
+        for &(size, assoc) in &[(5u64 << 18, 4u32), (5 << 18, 2), (3 << 16, 1), (7 << 20, 8)] {
+            let c = cache(size, assoc);
+            let n_sets = c.geometry().sets();
+            if n_sets.is_power_of_two() {
+                continue;
+            }
+            let check = |line: u64| {
+                let expect = (line % n_sets) as usize * c.assoc;
+                assert_eq!(c.set_start(line), expect, "sets={n_sets} line={line}");
+            };
+            for line in 0..3 * n_sets {
+                check(line);
+            }
+            for k in 0..10_000u64 {
+                check(TAG_MASK - 1 - k);
+                check(k.wrapping_mul(0x9E37_79B9_7F4A_7C15) & (TAG_MASK - 1));
+            }
+        }
+    }
+
+    #[test]
     fn large_line_addresses_pack_round_trip() {
-        // The packed word keeps the dirty flag in bit 63; a line address
-        // near the top of the legal range must survive insert/evict intact.
+        // A line address near the top of the legal range must survive
+        // insert/evict intact alongside its dirty flag.
         let mut c = cache(4096, 2);
         let sets = c.geometry().sets();
         let big = (1u64 << 58) + 17; // multiple of nothing special; maps by modulo/mask

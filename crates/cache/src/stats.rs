@@ -58,6 +58,11 @@ impl CacheStats {
         self.write_hits += u64::from(write);
     }
 
+    /// `n` read hits at once (no write-hit component).
+    pub(crate) fn record_hits(&mut self, n: u64) {
+        self.hits += n;
+    }
+
     pub(crate) fn record_miss(&mut self, write: bool) {
         self.misses += 1;
         self.write_misses += u64::from(write);

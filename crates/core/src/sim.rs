@@ -11,7 +11,7 @@ use csim_obs::{EpochSnapshot, Event, EventKind, MissClass, Observer};
 use csim_proc::{ExecBreakdown, StallClass, Timing, TimingModel};
 use csim_prof::Attribution;
 use csim_trace::hostprof::{self, Region};
-use csim_trace::{MemRef, ReferenceStream};
+use csim_trace::{MemRef, ReferenceStream, PACKED_ACCESS_SHIFT, PACKED_ADDR_MASK};
 use csim_workload::{NodeWorkload, OltpParams, OltpWorkload, SharedOltpState};
 
 use crate::error::{CoherenceViolation, SimError};
@@ -40,6 +40,16 @@ struct Core {
 /// `last_ifetch_line` value meaning "no memoized fetch": larger than any
 /// line index (addresses are 46-bit, lines 40-bit).
 const NO_IFETCH_MEMO: u64 = u64::MAX;
+
+/// Column depth of the batched dispatch: how many packed references are
+/// gathered from a stream per [`ReferenceStream::next_burst`] call, so
+/// per-burst dispatch overhead (virtual call, buffer bounds checks,
+/// stats flushes, loop setup) amortizes across the column. Sized a few
+/// multiples above the workload's scheduling bursts — deeper columns
+/// also let the repeat-fetch run scanner see whole runs instead of
+/// splitting them at column boundaries (measured ~1% end-to-end over a
+/// 64-deep column; flat beyond this depth).
+const BURST_COLS: usize = 512;
 
 /// Per-node (per-chip) simulation state: the cores, the shared L2/RAC,
 /// and miss counters. With `cores_per_node = 1` this is exactly the
@@ -88,6 +98,21 @@ pub struct Simulation<S = NodeWorkload> {
     /// "dirty in the L2" and a store that hits an already-dirty L1 line
     /// skips the ownership walk — see [`Simulation::access`].
     uni: bool,
+    /// Batched reference dispatch (the default): streams are drained in
+    /// [`BURST_COLS`]-deep packed columns instead of one `MemRef` at a
+    /// time. Bit-identical to single-step dispatch by the
+    /// [`ReferenceStream::next_burst`] contract;
+    /// `tests/batch_identity.rs` proves it differentially. The
+    /// single-step path is retained as the oracle.
+    batched: bool,
+    /// Per-stream gathered columns (`streams.len() * BURST_COLS` packed
+    /// words), preallocated so the hot dispatch loop never touches the
+    /// heap. Empty (head == len per stream) between `advance` calls.
+    batch_cols: Vec<u64>,
+    /// One past the last valid word of each stream's column.
+    batch_len: Vec<u32>,
+    /// Next word of each stream's column to dispatch.
+    batch_head: Vec<u32>,
 }
 
 impl Simulation<NodeWorkload> {
@@ -160,6 +185,7 @@ impl<S: ReferenceStream> Simulation<S> {
         let placement = (0..streams.len())
             .map(|s| ((s / cores_per_node) as u32, (s % cores_per_node) as u32))
             .collect();
+        let n_streams = streams.len();
         Ok(Simulation {
             summary: cfg.summary(),
             latencies: cfg.latencies(),
@@ -176,7 +202,19 @@ impl<S: ReferenceStream> Simulation<S> {
             attr: None,
             sanitizer: None,
             uni: cfg.n_nodes() == 1,
+            batched: true,
+            batch_cols: vec![0; n_streams * BURST_COLS],
+            batch_len: vec![0; n_streams],
+            batch_head: vec![0; n_streams],
         })
+    }
+
+    /// Selects between batched reference dispatch (the default) and the
+    /// single-step oracle path. Both deliver bit-identical reports; the
+    /// switch exists so differential tests can drive one against the
+    /// other and so regressions can be bisected to the dispatch layer.
+    pub fn set_batched_dispatch(&mut self, on: bool) {
+        self.batched = on;
     }
 
     /// Wires a fault injector into the simulation (builder style). An
@@ -365,6 +403,21 @@ impl<S: ReferenceStream> Simulation<S> {
         // Publish the host profiler's region once per advance call (one
         // relaxed store, amortized over `refs_per_node` references).
         hostprof::set_region(Region::Advance);
+        if !self.batched {
+            self.advance_single_step(refs_per_node);
+        } else if self.streams.len() == 1 {
+            self.advance_batched_single(refs_per_node);
+        } else {
+            self.advance_batched_multi(refs_per_node);
+        }
+        hostprof::set_region(Region::Idle);
+    }
+
+    /// Single-step dispatch: one `next_ref` virtual call per reference.
+    /// Retained as the oracle the batched paths are differentially
+    /// tested against ([`Simulation::set_batched_dispatch`]).
+    // analyze: hot
+    fn advance_single_step(&mut self, refs_per_node: u64) {
         // The epoch check is hoisted into two loop bodies so the common
         // no-epochs configuration never tests it per round.
         match self.observer.epoch_len() {
@@ -394,7 +447,135 @@ impl<S: ReferenceStream> Simulation<S> {
                 }
             }
         }
-        hostprof::set_region(Region::Idle);
+    }
+
+    /// Batched dispatch for the one-stream machine: drains the stream in
+    /// [`BURST_COLS`]-deep packed columns on a stack buffer, so the
+    /// per-reference cost is one slice copy and one [`dispatch_word`]
+    /// call instead of a virtual `next_ref` plus struct moves.
+    ///
+    /// [`dispatch_word`]: Simulation::dispatch_word
+    // analyze: hot
+    fn advance_batched_single(&mut self, refs_per_node: u64) {
+        let (n, c) = self.placement[0];
+        let (n, c) = (n as usize, c as usize);
+        let mut col = [0u64; BURST_COLS];
+        let mut remaining = refs_per_node;
+        // `refs_run` may be flushed once per burst exactly when nothing
+        // observes it mid-burst: it is read between references only by
+        // the epoch close, the fault injector's logical clock and event
+        // timestamps. With all three off, deferring the increment is
+        // invisible.
+        if self.observer.epoch_len().is_none()
+            && self.injector.is_none()
+            && !self.observer.wants_events()
+        {
+            while remaining > 0 {
+                let want = remaining.min(BURST_COLS as u64) as usize;
+                let got = self.streams[0].next_burst(&mut col[..want]);
+                let mut i = 0;
+                while i < got {
+                    let word = col[i];
+                    // Straight-line code fetches back-to-back words of
+                    // one line; `word >> 6` (line, access kind and mode
+                    // together) being equal proves the whole run would
+                    // take `dispatch_word`'s repeat-fetch lane, so the
+                    // run retires as one batched call. Exactness of the
+                    // batch is the documented contract of
+                    // `retire_instructions` / `record_repeat_read_hits`.
+                    if word >> PACKED_ACCESS_SHIFT & 0x3 == 0 {
+                        let line = (word & PACKED_ADDR_MASK) / LINE_SIZE;
+                        if line == self.nodes[n].cores[c].last_ifetch_line {
+                            let key = word >> 6;
+                            let mut k = 1;
+                            while i + k < got && col[i + k] >> 6 == key {
+                                k += 1;
+                            }
+                            self.retire_ifetch_run(n, c, k as u64);
+                            i += k;
+                            continue;
+                        }
+                    }
+                    self.access_packed(n, c, word);
+                    i += 1;
+                }
+                self.refs_run += got as u64;
+                remaining -= got as u64;
+            }
+        } else {
+            let epoch = self.observer.epoch_len();
+            while remaining > 0 {
+                let want = remaining.min(BURST_COLS as u64) as usize;
+                let got = self.streams[0].next_burst(&mut col[..want]);
+                for &word in &col[..got] {
+                    self.dispatch_word(n, c, word);
+                    self.refs_run += 1;
+                    if let Some(e) = epoch {
+                        if self.refs_run.is_multiple_of(e) {
+                            self.close_epoch();
+                        }
+                    }
+                }
+                remaining -= got as u64;
+            }
+        }
+    }
+
+    /// Batched dispatch for multi-stream machines. Rounds stay strictly
+    /// interleaved (stream 0, 1, ... per round, exactly as single-step
+    /// dispatch orders them) but each stream's references are gathered a
+    /// column at a time into the preallocated `batch_cols` scratch, so
+    /// the virtual-call and buffer-management cost amortizes over the
+    /// column depth.
+    // analyze: hot
+    fn advance_batched_multi(&mut self, refs_per_node: u64) {
+        let epoch = self.observer.epoch_len();
+        for r in 0..refs_per_node {
+            // Refills are capped at the references left in this call so
+            // every gathered word is consumed before returning — the
+            // scratch holds no state between `advance` calls.
+            let cap = (refs_per_node - r).min(BURST_COLS as u64) as usize;
+            for s in 0..self.streams.len() {
+                if self.batch_head[s] == self.batch_len[s] {
+                    let base = s * BURST_COLS;
+                    let got = self.streams[s].next_burst(&mut self.batch_cols[base..base + cap]);
+                    self.batch_len[s] = got as u32;
+                    self.batch_head[s] = 0;
+                }
+                let word = self.batch_cols[s * BURST_COLS + self.batch_head[s] as usize];
+                self.batch_head[s] += 1;
+                let (n, c) = self.placement[s];
+                self.dispatch_word(n as usize, c as usize, word);
+            }
+            // `refs_run` doubles as the fault model's logical clock, so
+            // it advances per round, not per batch.
+            self.refs_run += 1;
+            if let Some(e) = epoch {
+                if self.refs_run.is_multiple_of(e) {
+                    self.close_epoch();
+                }
+            }
+        }
+    }
+
+    /// Dispatches one packed reference word into the hierarchy. The
+    /// repeat-ifetch fast lane resolves straight-line refetches of the
+    /// memoized line (the dominant reference class) on the packed word
+    /// alone — no unpack, no `MemRef` construction — mirroring the memo
+    /// check at the top of [`Simulation::access_line`].
+    // analyze: cold — per-reference entry into the float-CPI timing model (retire_instruction); same boundary, for the same documented reason, as `access`
+    #[inline]
+    fn dispatch_word(&mut self, n: usize, c: usize, word: u64) {
+        if word >> PACKED_ACCESS_SHIFT & 0x3 == 0 {
+            let line = (word & PACKED_ADDR_MASK) / LINE_SIZE;
+            let core = &mut self.nodes[n].cores[c];
+            if line == core.last_ifetch_line {
+                core.timing.retire_instruction(&mut core.bd);
+                core.l1i.record_repeat_read_hit();
+                return;
+            }
+        }
+        self.access_packed(n, c, word);
     }
 
     /// Hands the observer a cumulative snapshot of the machine-wide
@@ -589,12 +770,53 @@ impl<S: ReferenceStream> Simulation<S> {
         }
     }
 
+    /// [`Simulation::access_line`] for a `MemRef` (the single-step oracle
+    /// path's currency).
     // analyze: cold — the per-reference timing model is float CPI arithmetic by design (the paper's analytical overlap model); reproducibility is guarded by the bit-identity tests, not by integer-only arithmetic
+    #[inline]
     fn access(&mut self, n: usize, c: usize, r: MemRef) {
         let line = r.line_addr(LINE_SIZE);
         let is_ifetch = r.access.is_instruction();
         let write = r.access.is_write();
+        self.access_line(n, c, line, is_ifetch, write);
+    }
 
+    /// [`Simulation::access_line`] for a packed word (the batched path's
+    /// currency): the access class reads straight out of the word's high
+    /// bits, skipping the `MemRef` enum round-trip the hierarchy never
+    /// looks at.
+    // analyze: cold — same per-reference timing boundary as `access`
+    #[inline]
+    fn access_packed(&mut self, n: usize, c: usize, word: u64) {
+        let line = (word & PACKED_ADDR_MASK) / LINE_SIZE;
+        let class = word >> PACKED_ACCESS_SHIFT & 0x3;
+        self.access_line(n, c, line, class == 0, class == 2);
+    }
+
+    /// Retires a detected run of `k` back-to-back repeat fetches of the
+    /// memoized instruction line: one batched timing call and one batched
+    /// L1I hit-counter bump, bit-identical to `k` trips through
+    /// `dispatch_word`'s repeat-fetch lane (the documented contracts of
+    /// [`TimingModel::retire_instructions`] and
+    /// [`Cache::record_repeat_read_hits`](csim_cache::Cache)).
+    // analyze: cold — same per-reference timing boundary as `access`; the closed-form retire's float exactness is proven at `InOrderTiming::retire_instructions`
+    #[inline]
+    fn retire_ifetch_run(&mut self, n: usize, c: usize, k: u64) {
+        let core = &mut self.nodes[n].cores[c];
+        core.timing.retire_instructions(k, &mut core.bd);
+        core.l1i.record_repeat_read_hits(k);
+    }
+
+    /// Runs one reference (already reduced to its line, fetch kind and
+    /// write-ness — everything the hierarchy observes) through the
+    /// memory system. Split for inlining: this front half — the retire,
+    /// the fetch memo and the L1 probe, which together resolve the vast
+    /// majority of references — inlines into the dispatch loops, while
+    /// everything past the L1 (ownership walks, the L2 and the miss
+    /// machinery) stays behind the [`Simulation::access_below_l1`] call
+    /// so the loop body keeps only the code that usually runs.
+    // analyze: cold — the per-reference timing model is float CPI arithmetic by design (the paper's analytical overlap model); reproducibility is guarded by the bit-identity tests, not by integer-only arithmetic
+    fn access_line(&mut self, n: usize, c: usize, line: u64, is_ifetch: bool, write: bool) {
         // Retire + L1 probe share one bounds-checked core borrow: this
         // runs once per reference, so the double index was measurable.
         let (l1_hit, owned) = {
@@ -614,19 +836,40 @@ impl<S: ReferenceStream> Simulation<S> {
             // cleans an L2 line (downgrades require a remote reader), so
             // L1-dirty proves L2-dirty and `ensure_ownership` would
             // return immediately — at the price of a probe into the much
-            // larger L2 slot array. The extra L1 `is_dirty` read touches
-            // no LRU or statistics state.
-            let owned = write && self.uni && l1.is_dirty(line);
-            let hit = l1.access(line, write).is_hit();
-            if is_ifetch && hit {
-                core.last_ifetch_line = line;
+            // larger L2 slot array. The dirty-before read is fused into
+            // the store's own probe so the set is walked once.
+            if write && self.uni {
+                let (outcome, owned) = l1.access_store_was_dirty(line);
+                (outcome.is_hit(), owned)
+            } else {
+                let hit = l1.access(line, write).is_hit();
+                if is_ifetch && hit {
+                    core.last_ifetch_line = line;
+                }
+                (hit, false)
             }
-            (hit, owned)
         };
+        if l1_hit && (!write || owned) {
+            return;
+        }
+        self.access_below_l1(n, c, line, is_ifetch, write, l1_hit);
+    }
+
+    /// The slow back half of [`Simulation::access_line`]: an L1 write
+    /// hit still needing the ownership walk, or an L1 miss heading into
+    /// the L2 and the coherence machinery.
+    // analyze: cold — the per-reference timing model is float CPI arithmetic by design (the paper's analytical overlap model); reproducibility is guarded by the bit-identity tests, not by integer-only arithmetic
+    fn access_below_l1(
+        &mut self,
+        n: usize,
+        c: usize,
+        line: u64,
+        is_ifetch: bool,
+        write: bool,
+        l1_hit: bool,
+    ) {
         if l1_hit {
-            if write && !owned {
-                self.ensure_ownership(n, c, line);
-            }
+            self.ensure_ownership(n, c, line);
             return;
         }
 
@@ -661,7 +904,7 @@ impl<S: ReferenceStream> Simulation<S> {
             return;
         }
 
-        self.l2_miss(n, c, r, line);
+        self.l2_miss(n, c, line, is_ifetch, write);
     }
 
     /// A store touched a line the node caches: if the L2 copy is not
@@ -701,10 +944,7 @@ impl<S: ReferenceStream> Simulation<S> {
         self.charge(n, c, class, latency, MissClass::Upgrade, line);
     }
 
-    fn l2_miss(&mut self, n: usize, c: usize, r: MemRef, line: u64) {
-        let is_ifetch = r.access.is_instruction();
-        let write = r.access.is_write();
-
+    fn l2_miss(&mut self, n: usize, c: usize, line: u64, is_ifetch: bool, write: bool) {
         // OS-replicated instruction pages: every node has a private local
         // copy; no coherence involvement, so only the local memory
         // controller (never the directory) can slow the fetch down.

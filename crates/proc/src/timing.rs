@@ -10,6 +10,20 @@ pub trait TimingModel {
     /// Accounts for one retired instruction (busy time).
     fn retire_instruction(&mut self, bd: &mut ExecBreakdown);
 
+    /// Accounts for `n` consecutively retired instructions.
+    ///
+    /// Contract: must be bit-identical to calling [`retire_instruction`]
+    /// `n` times. The default does exactly that; a model may override it
+    /// with a closed form only when it can prove the rounding matches
+    /// (see [`InOrderTiming`]'s override).
+    ///
+    /// [`retire_instruction`]: TimingModel::retire_instruction
+    fn retire_instructions(&mut self, n: u64, bd: &mut ExecBreakdown) {
+        for _ in 0..n {
+            self.retire_instruction(bd);
+        }
+    }
+
     /// Accounts for a memory stall of `latency_cycles`, exposing however
     /// much of it the core cannot hide into the matching bucket of `bd`.
     fn stall(&mut self, class: StallClass, latency_cycles: u64, bd: &mut ExecBreakdown);
@@ -32,6 +46,20 @@ impl TimingModel for InOrderTiming {
     fn retire_instruction(&mut self, bd: &mut ExecBreakdown) {
         bd.instructions += 1;
         bd.busy_cycles += 1.0;
+    }
+
+    /// Closed form of `n` unit retires. Exact, not approximate: under
+    /// this model `busy_cycles` only ever grows by `1.0` (stalls charge
+    /// the other buckets), so it is an integer-valued f64, and integer
+    /// additions below 2^53 never round — `n` separate `+= 1.0` steps
+    /// and one `+= n as f64` produce the same bits. This is what lets
+    /// the simulator's batched dispatch retire a run of back-to-back
+    /// instruction fetches in one call without breaking bit-identity
+    /// with the per-reference oracle path.
+    #[inline]
+    fn retire_instructions(&mut self, n: u64, bd: &mut ExecBreakdown) {
+        bd.instructions += n;
+        bd.busy_cycles += n as f64;
     }
 
     #[inline]
@@ -153,6 +181,17 @@ impl TimingModel for Timing {
         match self {
             Timing::InOrder(t) => t.retire_instruction(bd),
             Timing::Ooo(t) => t.retire_instruction(bd),
+        }
+    }
+
+    #[inline]
+    fn retire_instructions(&mut self, n: u64, bd: &mut ExecBreakdown) {
+        match self {
+            // In-order takes its exact closed form; out-of-order keeps
+            // the default per-instruction loop (its fractional CPI would
+            // round differently under a closed form).
+            Timing::InOrder(t) => t.retire_instructions(n, bd),
+            Timing::Ooo(t) => t.retire_instructions(n, bd),
         }
     }
 

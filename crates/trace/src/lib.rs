@@ -35,6 +35,8 @@ mod stream;
 
 pub use addr::{line_addr, page_addr, Addr, DEFAULT_LINE_SIZE, DEFAULT_PAGE_SIZE};
 pub use codec::{ReplayStream, TraceReader, TraceWriter};
-pub use mem_ref::{Access, ExecMode, MemRef};
+pub use mem_ref::{
+    Access, ExecMode, MemRef, PACKED_ACCESS_SHIFT, PACKED_ADDR_MASK, PACKED_MODE_BIT,
+};
 pub use rng::SimRng;
 pub use stream::{FnStream, InterleavedStream, ReferenceStream, SliceStream};

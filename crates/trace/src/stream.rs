@@ -14,17 +14,52 @@ use crate::mem_ref::MemRef;
 pub trait ReferenceStream {
     /// Produces the next reference.
     fn next_ref(&mut self) -> MemRef;
+
+    /// Fills `out` with the next references in packed form
+    /// ([`MemRef::pack`]) and returns how many were written (at least 1,
+    /// at most `out.len()`).
+    ///
+    /// Contract: the sequence of references delivered through any mix of
+    /// `next_burst` and [`ReferenceStream::next_ref`] calls must be
+    /// identical to the sequence `next_ref` alone would deliver — a burst
+    /// is a view of the same stream, not a different one. Implementations
+    /// with internal buffers must only generate new references when the
+    /// buffer is empty, so generation happens at the same stream positions
+    /// either way and any side effects (RNG draws, shared state) stay
+    /// bit-identical.
+    ///
+    /// The default produces one reference per call, which trivially
+    /// satisfies the contract; buffered generators override this to hand
+    /// out whole slices.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `out` is empty.
+    // analyze: hot
+    #[inline]
+    fn next_burst(&mut self, out: &mut [u64]) -> usize {
+        out[0] = self.next_ref().pack();
+        1
+    }
 }
 
 impl<S: ReferenceStream + ?Sized> ReferenceStream for Box<S> {
     fn next_ref(&mut self) -> MemRef {
         (**self).next_ref()
     }
+
+    fn next_burst(&mut self, out: &mut [u64]) -> usize {
+        (**self).next_burst(out)
+    }
 }
 
 impl<S: ReferenceStream + ?Sized> ReferenceStream for &mut S {
     fn next_ref(&mut self) -> MemRef {
         (**self).next_ref()
+    }
+
+    fn next_burst(&mut self, out: &mut [u64]) -> usize {
+        (**self).next_burst(out)
     }
 }
 
@@ -205,6 +240,18 @@ mod tests {
         let mut s = InterleavedStream::new(vec![a, b], 1);
         let got: Vec<u64> = (0..4).map(|_| s.next_ref().addr).collect();
         assert_eq!(got, [10, 20, 10, 20]);
+    }
+
+    #[test]
+    fn default_next_burst_matches_next_ref() {
+        let mut a = SliceStream::cycle(&[l(1), l(2), l(3)]);
+        let mut b = a.clone();
+        let mut out = [0u64; 4];
+        for _ in 0..7 {
+            let n = a.next_burst(&mut out);
+            assert_eq!(n, 1);
+            assert_eq!(MemRef::unpack(out[0]), b.next_ref());
+        }
     }
 
     #[test]

@@ -57,12 +57,17 @@ impl CodeRegion {
     }
 
     /// Starts execution at a popularity-sampled function.
+    // analyze: hot
+    #[inline]
     pub fn entry(&self, rng: &mut SimRng) -> CodeCursor {
         // Scramble the sampled popularity rank so that hot functions are
         // spread across the region rather than packed at its start —
         // otherwise the hot text would occupy one contiguous prefix and
-        // dodge direct-mapped conflicts unrealistically.
-        let rank = self.popularity.sample(rng.gen_f64());
+        // dodge direct-mapped conflicts unrealistically. The sample is
+        // drawn through the integer path: `next_u64() >> 11` is exactly
+        // the draw `gen_f64` would consume, so the RNG stream and the
+        // selected rank are bit-identical to the float sampler.
+        let rank = self.popularity.sample_u53(rng.next_u64() >> 11);
         let func = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15 | 1) % self.n_funcs();
         CodeCursor { func, line: 0, instr: 0, base: 0 }
     }

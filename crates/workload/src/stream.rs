@@ -26,32 +26,8 @@ use crate::zipf::ZipfTable;
 /// Redo bytes generated per row update.
 const REDO_BYTES_PER_UPDATE: u64 = 120;
 
-// Packed burst-buffer entry: the address occupies the low bits (physical
-// addresses are at most `ADDR_BITS` = 46 bits plus an in-page offset),
-// the access kind two bits below the top, and the privilege mode the top
-// bit. One word per reference instead of a three-field struct.
-const PACK_ADDR_MASK: u64 = (1 << 48) - 1;
-const PACK_ACCESS_SHIFT: u32 = 61;
-const PACK_MODE_BIT: u64 = 1 << 63;
-
-// analyze: hot
-#[inline]
-fn pack_ref(addr: Addr, access: Access, mode: ExecMode) -> u64 {
-    debug_assert!(addr <= PACK_ADDR_MASK, "address {addr:#x} exceeds the packable range");
-    addr | (access as u64) << PACK_ACCESS_SHIFT | if mode == ExecMode::Kernel { PACK_MODE_BIT } else { 0 }
-}
-
-// analyze: hot
-#[inline]
-fn unpack_ref(word: u64) -> MemRef {
-    let access = match word >> PACK_ACCESS_SHIFT & 0x3 {
-        0 => Access::InstrFetch,
-        1 => Access::Load,
-        _ => Access::Store,
-    };
-    let mode = if word & PACK_MODE_BIT != 0 { ExecMode::Kernel } else { ExecMode::User };
-    MemRef { addr: word & PACK_ADDR_MASK, access, mode }
-}
+/// Number of dirty block lines one database-writer burst flushes.
+const DBWR_FLUSH_LINES: usize = 16;
 
 /// State shared by every process on every node: the redo log tail, commit
 /// accounting, and the recently-dirtied block lines the database writer
@@ -82,11 +58,17 @@ impl SharedOltpState {
         q.push_back(addr);
     }
 
-    fn pop_dirty_into(&self, n: usize, out: &mut Vec<Addr>) {
-        out.clear();
+    /// Moves up to `out.len()` recently dirtied lines into the caller's
+    /// scratch and returns how many were written. Indexed writes into a
+    /// fixed buffer — the database writer calls this on the hot burst
+    /// path, which is allocation-free.
+    fn pop_dirty_into(&self, out: &mut [Addr]) -> usize {
         let mut q = self.recent_dirty.lock().unwrap_or_else(|e| e.into_inner());
-        let take = n.min(q.len());
-        out.extend(q.drain(..take));
+        let take = out.len().min(q.len());
+        for (slot, addr) in out[..take].iter_mut().zip(q.drain(..take)) {
+            *slot = addr;
+        }
+        take
     }
 }
 
@@ -182,7 +164,8 @@ struct RecentLines {
 }
 
 impl RecentLines {
-    fn push(&mut self, addr: Addr) {
+    /// Records an address in the ring (fixed storage, indexed write).
+    fn note(&mut self, addr: Addr) {
         self.lines[self.pos] = addr;
         self.pos = (self.pos + 1) % self.lines.len();
         self.len = (self.len + 1).min(self.lines.len());
@@ -240,17 +223,20 @@ pub struct NodeWorkload {
     daemon_db_cursor: CodeCursor,
     daemon_kernel_cursor: CodeCursor,
     daemon_recent: RecentLines,
-    /// The current scheduling burst, consumed by index. A flat `Vec` plus
-    /// cursor beats a `VecDeque` here: the consume path is a bounds check
-    /// and an increment, with no wrap-around arithmetic per reference.
-    /// Entries are packed to one word each (see [`pack_ref`]): a burst is
-    /// written once and read once, so halving its footprint halves the
-    /// buffer's share of memory traffic on the simulator's hottest path.
+    /// The current scheduling burst, consumed by index. A preallocated
+    /// flat buffer plus write/read cursors: the emit path is an indexed
+    /// store and an increment — no capacity checks, no reallocation, no
+    /// heap traffic after construction (`refill_burst` is `analyze: hot`
+    /// and allocation-free). Entries are packed to one word each (see
+    /// [`MemRef::pack`]): a burst is written once and read once, so
+    /// halving its footprint halves the buffer's share of memory traffic
+    /// on the simulator's hottest path. Sized in [`NodeWorkload::new`] for
+    /// the largest burst any parameter set can emit.
     buf: Vec<u64>,
+    /// One past the last valid word in `buf`.
+    buf_len: usize,
+    /// Next word of `buf` to hand out.
     buf_head: usize,
-    /// Reused across database-writer bursts so flushing dirty victims
-    /// allocates nothing in steady state.
-    dirty_scratch: Vec<Addr>,
     // Precomputed mix thresholds, in the integer domain of
     // [`prob_threshold`]: a 53-bit draw `rng.next_u64() >> 11` compared
     // against a threshold decides exactly like `rng.gen_f64() < p`, with
@@ -276,7 +262,7 @@ pub struct NodeWorkload {
 /// rounding up admits exactly the integers below the real bound). The
 /// scaling by a power of two is exact in `f64`, so the decision — and
 /// therefore every downstream draw — is bit-identical to the float form.
-fn prob_threshold(p: f64) -> u64 {
+pub(crate) fn prob_threshold(p: f64) -> u64 {
     (p * (1u64 << 53) as f64).ceil() as u64
 }
 
@@ -320,6 +306,17 @@ impl NodeWorkload {
         let daemon_db_cursor = db_code.entry(&mut rng);
         let daemon_kernel_cursor = kernel_code.entry(&mut rng);
         let servers_per_node = params.servers_per_node;
+        // Worst-case burst: `run_code(n)` emits at most 2 words per
+        // instruction (fetch + optional data), a refill runs one phase
+        // burst plus the context switch, and the scripted extras (locks,
+        // redo lines, lgwr harvest, dbwr flush) stay well under the slack.
+        let burst_cap = 2 * (params.txn_db_instrs
+            + params.txn_pipe_instrs
+            + params.txn_commit_instrs
+            + params.lgwr_instrs
+            + params.dbwr_instrs
+            + params.switch_instrs) as usize
+            + 2048;
         let per_server = |f: &dyn Fn(u16) -> Region| -> Vec<RegionHandle> {
             (0..servers_per_node).map(|s| map.handle(f(s as u16))).collect()
         };
@@ -356,9 +353,9 @@ impl NodeWorkload {
             daemon_db_cursor,
             daemon_kernel_cursor,
             daemon_recent: RecentLines::default(),
-            buf: Vec::with_capacity(32 * 1024),
+            buf: vec![0; burst_cap],
+            buf_len: 0,
             buf_head: 0,
-            dirty_scratch: Vec::with_capacity(16),
             uload_private: prob_threshold(params.w_uload_private / uload_total),
             uload_meta: prob_threshold(
                 (params.w_uload_private + params.w_uload_meta) / uload_total,
@@ -402,10 +399,21 @@ impl NodeWorkload {
 
     // ---- low-level emission helpers -------------------------------------
 
+    /// Appends one packed word to the burst buffer: an indexed store into
+    /// preallocated storage, so the whole refill cone stays heap-free.
+    /// The buffer is sized for the largest possible burst, so the write
+    /// can never run past the end (the bounds check enforces it).
+    // analyze: hot
     #[inline]
-    fn push_data(&mut self, addr: Addr, write: bool, mode: ExecMode) {
+    fn emit(&mut self, word: u64) {
+        self.buf[self.buf_len] = word;
+        self.buf_len += 1;
+    }
+
+    #[inline]
+    fn emit_data(&mut self, addr: Addr, write: bool, mode: ExecMode) {
         let access = if write { Access::Store } else { Access::Load };
-        self.buf.push(pack_ref(addr, access, mode));
+        self.emit(MemRef::new(addr, access, mode).pack());
     }
 
     #[inline]
@@ -416,15 +424,15 @@ impl NodeWorkload {
     /// Acquire-release style latch access: read then write the lock line.
     fn touch_lock(&mut self, kind: LockKind, id: u64) {
         let addr = self.meta_addr(self.sga.lock_line(kind, id));
-        self.push_data(addr, false, ExecMode::User);
-        self.push_data(addr, true, ExecMode::User);
+        self.emit_data(addr, false, ExecMode::User);
+        self.emit_data(addr, true, ExecMode::User);
     }
 
     /// Buffer-header lookup plus touch-count update.
     fn touch_header(&mut self, table: Table, block: u64) {
         let addr = self.meta_addr(self.sga.buffer_header_line(table, block));
-        self.push_data(addr, false, ExecMode::User);
-        self.push_data(addr, true, ExecMode::User);
+        self.emit_data(addr, false, ExecMode::User);
+        self.emit_data(addr, true, ExecMode::User);
     }
 
     /// Appends `bytes` of redo to the global log ring (write-shared tail).
@@ -435,7 +443,7 @@ impl NodeWorkload {
         for line in first..=last {
             let ring_line = line % self.sga.log_ring_lines();
             let addr = self.h_log.line_addr(ring_line);
-            self.push_data(addr, true, ExecMode::User);
+            self.emit_data(addr, true, ExecMode::User);
         }
     }
 
@@ -448,14 +456,14 @@ impl NodeWorkload {
         let mut cursor = self.cursor_for(kernel, server);
         for _ in 0..n {
             let addr = code.step(&mut cursor, &mut self.rng, &self.map);
-            self.buf.push(pack_ref(addr, Access::InstrFetch, mode));
+            self.emit(MemRef::new(addr, Access::InstrFetch, mode).pack());
             let roll = self.rng.next_u64() >> 11;
             if roll < t_load {
                 let a = self.background_target(kernel, server, false);
-                self.push_data(a, false, mode);
+                self.emit_data(a, false, mode);
             } else if roll < t_either {
                 let a = self.background_target(kernel, server, true);
-                self.push_data(a, true, mode);
+                self.emit_data(a, true, mode);
             }
         }
         self.store_cursor(kernel, server, cursor);
@@ -505,9 +513,9 @@ impl NodeWorkload {
         }
         let addr = self.fresh_background_target(kernel, server, write);
         if server == u16::MAX {
-            self.daemon_recent.push(addr);
+            self.daemon_recent.note(addr);
         } else {
-            self.servers[server as usize].recent.push(addr);
+            self.servers[server as usize].recent.note(addr);
         }
         addr
     }
@@ -537,8 +545,8 @@ impl NodeWorkload {
                 let line = self.rng.gen_range(0..self.params.pga_hot_lines);
                 self.h_pga[server_idx as usize].line_addr(line)
             } else if roll < self.ustore_meta {
-                let u: f64 = self.rng.gen_f64();
-                self.meta_addr(self.meta_zipf.sample(u))
+                let n = self.rng.next_u64() >> 11;
+                self.meta_addr(self.meta_zipf.sample_u53(n))
             } else {
                 let line = self.rng.gen_range(0..self.params.work_area_lines);
                 self.h_work[server_idx as usize].line_addr(line)
@@ -549,14 +557,14 @@ impl NodeWorkload {
                 let line = self.rng.gen_range(0..self.params.pga_hot_lines);
                 self.h_pga[server_idx as usize].line_addr(line)
             } else if roll < self.uload_meta {
-                let u: f64 = self.rng.gen_f64();
-                self.meta_addr(self.meta_zipf.sample(u))
+                let n = self.rng.next_u64() >> 11;
+                self.meta_addr(self.meta_zipf.sample_u53(n))
             } else if roll < self.uload_work {
                 let line = self.rng.gen_range(0..self.params.work_area_lines);
                 self.h_work[server_idx as usize].line_addr(line)
             } else {
-                let u: f64 = self.rng.gen_f64();
-                let line = self.shared_read_zipf.sample(u);
+                let n = self.rng.next_u64() >> 11;
+                let line = self.shared_read_zipf.sample_u53(n);
                 self.h_shared_read.line_addr(line)
             }
         }
@@ -571,8 +579,8 @@ impl NodeWorkload {
         for _ in 0..2 {
             let line = self.rng.gen_range(0..self.params.kernel_node_lines);
             let addr = self.h_kernel_node.line_addr(line);
-            self.push_data(addr, false, ExecMode::Kernel);
-            self.push_data(addr, true, ExecMode::Kernel);
+            self.emit_data(addr, false, ExecMode::Kernel);
+            self.emit_data(addr, true, ExecMode::Kernel);
         }
         // Choose the transaction the client submitted.
         let teller = self.schema.pick_teller(&mut self.rng);
@@ -596,7 +604,7 @@ impl NodeWorkload {
         // Begin: transaction-table slot.
         self.run_code(false, s, chunk);
         let slot = self.meta_addr(self.sga.txn_slot_line(self.node, s));
-        self.push_data(slot, true, ExecMode::User);
+        self.emit_data(slot, true, ExecMode::User);
 
         // Account update: lock, header, row read-modify-write, undo, redo.
         self.run_code(false, s, chunk);
@@ -605,15 +613,15 @@ impl NodeWorkload {
         self.touch_header(Table::Account, arow.block);
         self.run_code(false, s, 2 * chunk);
         let aaddr = self.map.line_addr(Region::AccountBlocks, arow.row_line);
-        self.push_data(aaddr, false, ExecMode::User);
+        self.emit_data(aaddr, false, ExecMode::User);
         self.run_code(false, s, chunk);
-        self.push_data(aaddr, true, ExecMode::User);
+        self.emit_data(aaddr, true, ExecMode::User);
         self.shared.push_dirty(aaddr);
         let undo = {
             let line = self.rng.gen_range(0..self.params.pga_hot_lines);
             self.h_pga[s as usize].line_addr(line)
         };
-        self.push_data(undo, true, ExecMode::User);
+        self.emit_data(undo, true, ExecMode::User);
         self.append_redo(REDO_BYTES_PER_UPDATE);
 
         // Teller update.
@@ -622,8 +630,8 @@ impl NodeWorkload {
         let trow = self.schema.teller_row(teller);
         self.touch_header(Table::Teller, trow.block);
         let taddr = self.map.line_addr(Region::TellerBlocks, trow.row_line);
-        self.push_data(taddr, false, ExecMode::User);
-        self.push_data(taddr, true, ExecMode::User);
+        self.emit_data(taddr, false, ExecMode::User);
+        self.emit_data(taddr, true, ExecMode::User);
         self.append_redo(REDO_BYTES_PER_UPDATE);
 
         // Branch update (the migratory hot spot).
@@ -632,8 +640,8 @@ impl NodeWorkload {
         let brow = self.schema.branch_row(branch);
         self.touch_header(Table::Branch, brow.block);
         let baddr = self.map.line_addr(Region::BranchBlocks, brow.row_line);
-        self.push_data(baddr, false, ExecMode::User);
-        self.push_data(baddr, true, ExecMode::User);
+        self.emit_data(baddr, false, ExecMode::User);
+        self.emit_data(baddr, true, ExecMode::User);
         self.append_redo(REDO_BYTES_PER_UPDATE);
 
         // History append (cold stream) + LRU list maintenance.
@@ -642,7 +650,7 @@ impl NodeWorkload {
         self.history_seq += 1;
         self.touch_header(Table::History, hrow.block);
         let haddr = self.map.line_addr(Region::HistoryBlocks { node: self.node }, hrow.row_line);
-        self.push_data(haddr, true, ExecMode::User);
+        self.emit_data(haddr, true, ExecMode::User);
         self.touch_lock(LockKind::LruList, u64::from(self.node) & 0x3);
         self.append_redo(REDO_BYTES_PER_UPDATE);
 
@@ -652,7 +660,7 @@ impl NodeWorkload {
         self.touch_lock(LockKind::Teller, teller);
         self.touch_lock(LockKind::Branch, branch);
         self.run_code(false, s, chunk);
-        self.push_data(slot, true, ExecMode::User);
+        self.emit_data(slot, true, ExecMode::User);
 
         self.servers[s as usize].phase = Phase::Commit;
     }
@@ -676,8 +684,8 @@ impl NodeWorkload {
         self.run_code(true, s, self.params.switch_instrs);
         let line = self.rng.gen_range(0..self.params.kernel_node_lines);
         let addr = self.h_kernel_node.line_addr(line);
-        self.push_data(addr, false, ExecMode::Kernel);
-        self.push_data(addr, true, ExecMode::Kernel);
+        self.emit_data(addr, false, ExecMode::Kernel);
+        self.emit_data(addr, true, ExecMode::Kernel);
     }
 
     /// Log-writer burst (node 0): harvest the redo written since the last
@@ -694,14 +702,14 @@ impl NodeWorkload {
         for l in 0..span {
             let ring_line = (first_line + l) % self.sga.log_ring_lines();
             let addr = self.h_log.line_addr(ring_line);
-            self.push_data(addr, false, ExecMode::User);
+            self.emit_data(addr, false, ExecMode::User);
         }
         self.lgwr_flushed_bytes = tail;
         self.run_code(true, u16::MAX, self.params.lgwr_instrs - half);
         for _ in 0..8 {
             let addr = self.map.line_addr(Region::IoBuffer { node: self.node }, self.io_seq);
             self.io_seq += 1;
-            self.push_data(addr, true, ExecMode::Kernel);
+            self.emit_data(addr, true, ExecMode::Kernel);
         }
         self.touch_lock(LockKind::LogControl, 0);
         // analyze: publish — commit-batch counter reset; peers only compare it against the batch threshold, so a stale read merely delays one lgwr burst
@@ -714,28 +722,27 @@ impl NodeWorkload {
         let half = self.params.dbwr_instrs / 2;
         self.run_code(false, u16::MAX, half);
         for _ in 0..40 {
-            let u: f64 = self.rng.gen_f64();
-            let addr = self.meta_addr(self.meta_zipf.sample(u));
-            self.push_data(addr, false, ExecMode::User);
+            let n = self.rng.next_u64() >> 11;
+            let addr = self.meta_addr(self.meta_zipf.sample_u53(n));
+            self.emit_data(addr, false, ExecMode::User);
         }
-        let mut victims = std::mem::take(&mut self.dirty_scratch);
-        self.shared.pop_dirty_into(16, &mut victims);
-        for &addr in &victims {
-            self.push_data(addr, false, ExecMode::User);
+        let mut victims = [0u64; DBWR_FLUSH_LINES];
+        let flushed = self.shared.pop_dirty_into(&mut victims);
+        for &addr in &victims[..flushed] {
+            self.emit_data(addr, false, ExecMode::User);
         }
-        self.dirty_scratch = victims;
         self.run_code(true, u16::MAX, self.params.dbwr_instrs - half);
         for _ in 0..8 {
             let addr = self.map.line_addr(Region::IoBuffer { node: self.node }, self.io_seq);
             self.io_seq += 1;
-            self.push_data(addr, true, ExecMode::Kernel);
+            self.emit_data(addr, true, ExecMode::Kernel);
         }
     }
 
     /// Produces the next scheduling burst into the buffer. Cold relative
     /// to the per-reference pop in `next_ref` (a burst is thousands of
     /// references), so it is kept out of the consumer's inlined fast path.
-    // analyze: cold — amortized burst refill: runs once per thousands of references and builds whole transaction blocks (Vec growth, Zipf walks) off the per-reference path
+    // analyze: cold — amortized burst refill: runs once per thousands of references and builds whole transaction blocks off the per-reference path
     #[cold]
     #[inline(never)]
     fn refill(&mut self) {
@@ -749,13 +756,15 @@ impl NodeWorkload {
         csim_trace::hostprof::set_region(enclosing);
     }
 
-    // Hot by measurement, not position: host profiling attributes ~28%
+    // Hot by measurement, not position: host profiling attributed ~28%
     // of simulator wall time to burst refill (ROADMAP item 1), so the
-    // purity lint fences it ahead of the optimization PR. Allocation
-    // findings below this root are deferred via analyze-baseline.json.
+    // purity lint fences the whole cone: integer-only arithmetic
+    // (fixed-point thresholds, `ZipfTable::sample_u53`) and preallocated
+    // storage (`emit` into the fixed burst buffer, stack scratch for the
+    // dbwr flush) — no allocation or float findings are deferred.
     // analyze: hot
     fn refill_burst(&mut self) {
-        debug_assert!(self.buf.is_empty());
+        debug_assert_eq!(self.buf_len, 0, "refill into a non-empty burst buffer");
         if self.runs_lgwr
             && self.shared.pending_commits.load(Relaxed) >= self.params.lgwr_batch
         {
@@ -789,14 +798,38 @@ impl ReferenceStream for NodeWorkload {
     #[inline]
     fn next_ref(&mut self) -> MemRef {
         loop {
-            if let Some(&word) = self.buf.get(self.buf_head) {
+            if self.buf_head < self.buf_len {
+                let word = self.buf[self.buf_head];
                 self.buf_head += 1;
-                return unpack_ref(word);
+                return MemRef::unpack(word);
             }
-            self.buf.clear();
+            self.buf_len = 0;
             self.buf_head = 0;
             self.refill();
         }
+    }
+
+    /// Hands out the buffered burst as whole packed slices.
+    ///
+    /// Satisfies the [`ReferenceStream::next_burst`] contract by
+    /// construction: a refill happens only when the buffer is empty —
+    /// exactly when `next_ref` would refill — so generation (and every
+    /// RNG draw and shared-state mutation inside it) occurs at the same
+    /// stream positions under either consumption style, and the words
+    /// handed out are the same bytes `next_ref` would unpack.
+    // analyze: hot
+    #[inline]
+    fn next_burst(&mut self, out: &mut [u64]) -> usize {
+        debug_assert!(!out.is_empty());
+        while self.buf_head == self.buf_len {
+            self.buf_len = 0;
+            self.buf_head = 0;
+            self.refill();
+        }
+        let n = (self.buf_len - self.buf_head).min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.buf_head..self.buf_head + n]);
+        self.buf_head += n;
+        n
     }
 }
 

@@ -13,6 +13,7 @@ use csim_trace::SimRng;
 
 use crate::layout::{Region, LINE_BYTES};
 use crate::params::OltpParams;
+use crate::stream::prob_threshold;
 
 /// Block header size in bytes (Oracle block overhead).
 pub(crate) const BLOCK_HEADER_BYTES: u64 = 128;
@@ -33,7 +34,10 @@ pub struct Schema {
     branches: u64,
     tellers_per_branch: u64,
     accounts_per_branch: u64,
-    home_fraction: f64,
+    /// TPC-B's home/remote rule in the integer domain of
+    /// [`prob_threshold`]: a 53-bit draw below this picks a home-branch
+    /// account, deciding exactly like `gen_f64() < home_fraction`.
+    home_thresh: u64,
     rows_per_block: u64,
     lines_per_block: u64,
     row_bytes: u64,
@@ -49,7 +53,7 @@ impl Schema {
             branches: params.branches,
             tellers_per_branch: params.tellers_per_branch,
             accounts_per_branch: params.accounts_per_branch,
-            home_fraction: params.home_account_fraction,
+            home_thresh: prob_threshold(params.home_account_fraction),
             rows_per_block,
             lines_per_block: params.block_bytes / LINE_BYTES,
             row_bytes: params.account_row_bytes,
@@ -78,9 +82,12 @@ impl Schema {
     }
 
     /// Draws the account for a transaction at `branch`, following TPC-B's
-    /// 85/15 home/remote rule.
+    /// 85/15 home/remote rule. The draw `next_u64() >> 11` is exactly
+    /// what `gen_f64` would consume, so the RNG stream and the decision
+    /// are bit-identical to the float comparison.
+    // analyze: hot
     pub fn pick_account(&self, rng: &mut SimRng, branch: u64) -> u64 {
-        if rng.gen_f64() < self.home_fraction {
+        if rng.next_u64() >> 11 < self.home_thresh {
             branch * self.accounts_per_branch + rng.gen_range(0..self.accounts_per_branch)
         } else {
             rng.gen_range(0..self.branches * self.accounts_per_branch)

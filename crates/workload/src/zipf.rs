@@ -21,6 +21,16 @@
 #[derive(Clone, Debug)]
 pub struct ZipfTable {
     cdf: Vec<f64>,
+    /// `floor(cdf[i] * 2^53)`: the cdf rescaled into the integer domain
+    /// of a 53-bit uniform draw (`SimRng::next_u64() >> 11`). Scaling by
+    /// a power of two is exact in `f64`, and for a real `x` and integer
+    /// `n`, `x < n ⟺ floor(x) < n`, so a partition search of this table
+    /// against the raw draw returns exactly the index the float search
+    /// returns for `u = n * 2^-53` — with no float arithmetic on the
+    /// sampling path. The hot sampler ([`ZipfTable::sample_u53`]) uses
+    /// only this table; the float `cdf` is retained as the construction
+    /// source and the differential oracle ([`ZipfTable::sample`]).
+    thresh: Vec<u64>,
     /// First-level search index: `coarse[k]` is the partition point of the
     /// cdf at threshold `k / COARSE_BINS`, so `sample(u)` only binary
     /// searches the narrow window `coarse[k] .. coarse[k + 1]` that is
@@ -33,8 +43,12 @@ pub struct ZipfTable {
 /// Number of first-level bins. Must be a power of two: `u * COARSE_BINS`
 /// is then exact in `f64` arithmetic, so the bin chosen for `u` provably
 /// brackets the full-table partition point and the accelerated search
-/// returns bit-identical results.
+/// returns bit-identical results. The integer sampler picks the same bin
+/// with a shift: `floor(u * 256) = floor(n * 2^-53 * 2^8) = n >> 45`.
 const COARSE_BINS: usize = 256;
+
+/// Shift mapping a 53-bit draw to its coarse bin: `53 - log2(COARSE_BINS)`.
+const COARSE_SHIFT: u32 = 45;
 
 impl ZipfTable {
     /// Builds the table for `n` items with skew `s`.
@@ -65,7 +79,12 @@ impl ZipfTable {
         } else {
             Vec::new()
         };
-        ZipfTable { cdf, coarse }
+        // Truncating cast = floor for non-negative values, and the final
+        // cdf entry is exactly 1.0 (it is divided by itself), so every
+        // threshold fits: floor(1.0 * 2^53) = 2^53 < u64::MAX.
+        let scale = (1u64 << 53) as f64;
+        let thresh = cdf.iter().map(|&c| (c * scale) as u64).collect();
+        ZipfTable { cdf, thresh, coarse }
     }
 
     /// Number of items.
@@ -96,6 +115,53 @@ impl ZipfTable {
         let hi = self.coarse[k + 1] as usize;
         (lo + self.cdf[lo..hi].partition_point(|&c| c < u)) as u64
     }
+
+    /// Maps a 53-bit uniform draw (`SimRng::next_u64() >> 11`) to an item
+    /// index using integer comparisons only.
+    ///
+    /// Bit-identical to `self.sample(n as f64 * 2^-53)`: for real `x` and
+    /// integer `n`, `x < n ⟺ floor(x) < n`, so comparing `floor(c * 2^53)`
+    /// against `n` decides `c < n * 2^-53` exactly — the float draw
+    /// `n * 2^-53` is itself exact (`n` has at most 53 significant bits).
+    // analyze: hot
+    #[inline]
+    pub fn sample_u53(&self, n: u64) -> u64 {
+        debug_assert!(n < (1 << 53));
+        if self.coarse.is_empty() {
+            return self.thresh.partition_point(|&t| t < n) as u64;
+        }
+        let k = ((n >> COARSE_SHIFT) as usize).min(COARSE_BINS - 1);
+        let lo = self.coarse[k] as usize;
+        let hi = self.coarse[k + 1] as usize;
+        lo as u64 + branchless_partition(&self.thresh[lo..hi], n)
+    }
+}
+
+/// `window.partition_point(|&t| t < n)`, computed with conditional moves
+/// instead of a branch per probe. The comparison outcome inside a Zipf
+/// search window is decided by the random draw, so a branchy search
+/// mispredicts on roughly half its probes; the select below carries no
+/// prediction at all. The result is the partition point by the loop
+/// invariant (`base` never passes an element `>= n`, `base + size` never
+/// trails one `< n`), so the caller's answer is identical to the
+/// `partition_point` it replaces — only the instruction mix changes.
+// analyze: hot
+#[inline]
+fn branchless_partition(window: &[u64], n: u64) -> u64 {
+    let mut base = 0usize;
+    let mut size = window.len();
+    while size > 1 {
+        let half = size / 2;
+        // cmov, not a branch: both sides are computed, the select picks.
+        if window[base + half - 1] < n {
+            base += half;
+        }
+        size -= half;
+    }
+    if let Some(&last) = window.get(base) {
+        base += usize::from(last < n);
+    }
+    base as u64
 }
 
 #[cfg(test)]
@@ -151,6 +217,49 @@ mod tests {
             for _ in 0..10_000 {
                 x = (x * 997.0 + 0.123_456_789).fract();
                 check(x);
+            }
+        }
+    }
+
+    #[test]
+    fn integer_sampler_matches_float_oracle() {
+        // The hot integer sampler must agree with the float path on the
+        // exact same draw — including coarse-bin edges, where a rounding
+        // slip in the threshold table would first show.
+        for &(n, s) in &[(1u64, 0.0), (17, 0.7), (1000, 1.0), (3072, 0.75), (10240, 0.6)] {
+            let z = ZipfTable::new(n, s);
+            let check = |draw: u64| {
+                let u = draw as f64 * (1.0 / (1u64 << 53) as f64);
+                assert_eq!(z.sample_u53(draw), z.sample(u), "n={n} s={s} draw={draw}");
+            };
+            for k in 0..256u64 {
+                let edge = k << COARSE_SHIFT;
+                check(edge);
+                check(edge + 1);
+                check(edge.saturating_sub(1));
+            }
+            check((1 << 53) - 1);
+            // Deterministic pseudo-random sweep over the draw domain.
+            let mut x = 0x9E37_79B9_7F4A_7C15u64;
+            for _ in 0..20_000 {
+                x = x.wrapping_mul(0xD120_2E4B_BDC6_4F69).wrapping_add(0x2545_F491_4F6C_DD1D);
+                check(x >> 11);
+            }
+        }
+    }
+
+    #[test]
+    fn integer_thresholds_decide_float_predicate() {
+        // thresh[i] < n must hold exactly when cdf[i] < n * 2^-53 — the
+        // invariant the bit-identity of sample_u53 rests on.
+        let z = ZipfTable::new(1000, 0.9);
+        let mut x = 0xC0FF_EE00_2000u64;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(0xD120_2E4B_BDC6_4F69).wrapping_add(0x2545_F491_4F6C_DD1D);
+            let n = x >> 11;
+            let u = n as f64 * (1.0 / (1u64 << 53) as f64);
+            for i in (0..z.cdf.len()).step_by(97) {
+                assert_eq!(z.thresh[i] < n, z.cdf[i] < u, "i={i} n={n}");
             }
         }
     }

@@ -206,19 +206,32 @@ fn differential_drive(geometry: CacheGeometry, ops: u64, seed: u64) {
 #[test]
 fn optimized_cache_matches_reference_on_a_million_ops() {
     // Power-of-two geometries hit the mask fast path; each associativity
-    // hits a different probe specialization (direct-mapped, 2-way, general).
-    for assoc in [1u32, 2, 4] {
+    // hits a different probe specialization (direct-mapped, 2-way, and
+    // the branch-free scan used for 4-way and wider).
+    for assoc in [1u32, 2, 4, 8] {
         let geometry = CacheGeometry::new(1 << 20, assoc, 64).expect("valid geometry");
-        differential_drive(geometry, 1_000_000 / 3, 0xD1FF + u64::from(assoc));
+        differential_drive(geometry, 250_000, 0xD1FF + u64::from(assoc));
     }
 }
 
 #[test]
 fn optimized_cache_matches_reference_on_non_power_of_two_geometry() {
-    // The paper's 1.25 MB 4-way L2: 5120 sets — the modulo (non-mask)
-    // index path that the power-of-two fast path must not disturb.
+    // The paper's 1.25 MB 4-way L2: 5120 sets — the reciprocal
+    // multiply-shift set index (not a mask) that the power-of-two fast
+    // path must not disturb.
     let geometry = CacheGeometry::new((5 << 20) / 4, 4, 64).expect("valid geometry");
     differential_drive(geometry, 1_000_000, 0xBEEF);
+}
+
+#[test]
+fn optimized_cache_matches_reference_on_non_power_of_two_direct_mapped() {
+    // Non-power-of-two sets with assoc 1 and 8: the reciprocal index
+    // composed with the two probe specializations the 4-way test above
+    // does not reach.
+    for (size, assoc, seed) in [(3u64 << 16, 1u32, 0xACE1u64), ((5 << 20) / 4, 8, 0xACE8)] {
+        let geometry = CacheGeometry::new(size, assoc, 64).expect("valid geometry");
+        differential_drive(geometry, 250_000, seed);
+    }
 }
 
 #[test]
