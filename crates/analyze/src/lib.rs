@@ -5,7 +5,7 @@
 //! workspace into one model — every file lexed with the shared
 //! [`csim_check::lex`] lexer, every function indexed, every
 //! intra-workspace reference recorded — builds a name-based call graph,
-//! and runs six passes over it:
+//! and runs eight passes over it:
 //!
 //! 1. [`layering`] — the architecture DAG gate: each crate's observed
 //!    dependencies must stay inside an explicit allowlist, and the
@@ -28,6 +28,17 @@
 //!    `// analyze: unwind — reason` contract, and must not reach
 //!    shared-state mutators (checkpoint log, merge accumulators,
 //!    hostprof stripes) without re-validation after the catch.
+//! 7. [`panicfree`] — panic-freedom for everything reachable from the
+//!    `csim`/`csim-sweep` entry points: per-function CFGs ([`cfg`])
+//!    plus a forward must-facts dataflow ([`dataflow`]) prove that
+//!    indexing is bounds-checked, `unwrap`/`expect` follow a dominating
+//!    `Some`/`Ok` check, and `.len() - k` can't underflow — or the site
+//!    carries an `// analyze: total — reason` contract.
+//! 8. [`exactness`] — f64 integer-exactness: statements marked
+//!    `// analyze: exact` (the batched-retire accumulators whose
+//!    closed-form equivalence DESIGN.md §16 argues) must only receive
+//!    provably integer-valued f64s, via a three-point value lattice
+//!    over the same dataflow engine.
 //!
 //! Escapes use the same `// lint: allow(rule) — reason` markers as
 //! csim-lint (reasons mandatory, every suppression counted in the
@@ -41,12 +52,16 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod cfg;
 pub mod concurrency;
+pub mod dataflow;
 pub mod deadpub;
+pub mod exactness;
 pub mod graph;
 pub mod hotpath;
 pub mod layering;
 pub mod model;
+pub mod panicfree;
 pub mod report;
 pub mod taint;
 pub mod unwind;
@@ -59,7 +74,7 @@ pub use graph::CallGraph;
 pub use model::Workspace;
 pub use report::{AnalysisReport, Finding, Pass, Suppression, REPORT_SCHEMA};
 
-/// Loads the workspace at `root` and runs all six passes.
+/// Loads the workspace at `root` and runs all eight passes.
 ///
 /// # Errors
 ///
@@ -115,6 +130,16 @@ pub fn analyze_model(ws: &Workspace) -> AnalysisReport {
     let (f, s) = unwind::run(ws, &graph);
     rep.findings.extend(f);
     rep.suppressions.extend(s);
+
+    let pf = panicfree::run(ws, &graph);
+    rep.reachable_fns = pf.reachable_fns;
+    rep.findings.extend(pf.findings);
+    rep.suppressions.extend(pf.suppressions);
+
+    let ex = exactness::run(ws);
+    rep.exact_sites = ex.exact_sites;
+    rep.findings.extend(ex.findings);
+    rep.suppressions.extend(ex.suppressions);
 
     rep.sort();
     rep

@@ -88,6 +88,15 @@ pub struct SourceFile {
     /// `// analyze: unwind — reason` markers (declared panic
     /// boundaries), by line. Reasonless markers are dropped.
     pub unwind_lines: Vec<(usize, String)>,
+    /// `// analyze: total — reason` markers (totality contracts for the
+    /// panic-freedom pass), by line. Reasonless markers are dropped.
+    /// A marker inside a function body contracts the site at/below it;
+    /// a marker above a `fn` contracts the whole function (see
+    /// [`FnItem::total`]).
+    pub total_lines: Vec<(usize, String)>,
+    /// `// analyze: exact` marker lines (integer-exactness claims for
+    /// the exactness pass), by line. The reason is optional.
+    pub exact_lines: Vec<usize>,
 }
 
 impl SourceFile {
@@ -124,6 +133,18 @@ impl SourceFile {
     /// three lines above it.
     pub(crate) fn unwind_for(&self, line: usize) -> Option<&str> {
         nearest_marker(&self.unwind_lines, line)
+    }
+
+    /// The nearest `analyze: total — reason` marker on `line` or up to
+    /// three lines above it (site-level totality contract).
+    pub(crate) fn total_for(&self, line: usize) -> Option<&str> {
+        nearest_marker(&self.total_lines, line)
+    }
+
+    /// True when an `analyze: exact` marker sits on `line` or up to
+    /// three lines above it.
+    pub(crate) fn exact_for(&self, line: usize) -> bool {
+        self.exact_lines.iter().any(|&l| l <= line && line - l <= 3)
     }
 }
 
@@ -170,6 +191,10 @@ pub struct FnItem {
     pub hot: bool,
     /// `// analyze: cold — reason` boundary, when marked.
     pub cold: Option<String>,
+    /// `// analyze: total — reason` function-level totality contract,
+    /// when a reasoned total marker sits above the `fn` (outside any
+    /// body): every partial operation in this function is contracted.
+    pub total: Option<String>,
     /// Token index range of the signature (`fn` keyword up to the body
     /// brace or `;`, half-open) — the taint pass reads parameter types
     /// from here.
@@ -378,6 +403,8 @@ impl Workspace {
         let mut cold_lines = Vec::new();
         let mut publish_lines = Vec::new();
         let mut unwind_lines = Vec::new();
+        let mut total_lines = Vec::new();
+        let mut exact_lines = Vec::new();
         for Marker { line, kind } in markers(&source) {
             match kind {
                 MarkerKind::Allow { rule, reason } => allows.push((line, rule, reason)),
@@ -397,6 +424,12 @@ impl Workspace {
                         unwind_lines.push((line, reason));
                     }
                 }
+                MarkerKind::Total { reason } => {
+                    if !reason.is_empty() {
+                        total_lines.push((line, reason));
+                    }
+                }
+                MarkerKind::Exact { .. } => exact_lines.push(line),
             }
         }
         let file_idx = self.files.len();
@@ -412,6 +445,8 @@ impl Workspace {
             cold_lines,
             publish_lines,
             unwind_lines,
+            total_lines,
+            exact_lines,
         });
         parse_items(self, file_idx);
     }
@@ -698,6 +733,7 @@ fn parse_items(ws: &mut Workspace, file_idx: usize) {
                         in_test,
                         hot: false,
                         cold: None,
+                        total: None,
                         sig: (k, i),
                         body,
                     });
@@ -887,6 +923,30 @@ fn parse_items(ws: &mut Workspace, file_idx: usize) {
             .min_by_key(|f| f.line)
         {
             f.cold = Some(why.clone());
+        }
+    }
+    // `// analyze: total` binds at two levels: a marker inside some fn
+    // body is site-level (consumed by `total_for` at the finding line);
+    // one outside any body binds fn-level to the next fn like hot/cold,
+    // contracting every partial operation in that function.
+    for (ml, why) in &file.total_lines {
+        let inside_body = fns.iter().any(|f| match f.body {
+            Some((a, b)) if a < b => {
+                let lo = file.toks[a].line as usize;
+                let hi = file.toks[b - 1].line as usize;
+                (lo..=hi).contains(ml)
+            }
+            _ => false,
+        });
+        if inside_body {
+            continue;
+        }
+        if let Some(f) = fns
+            .iter_mut()
+            .filter(|f| f.line > *ml)
+            .min_by_key(|f| f.line)
+        {
+            f.total = Some(why.clone());
         }
     }
 

@@ -29,6 +29,10 @@ pub enum Pass {
     Concurrency,
     /// Unwind-safety pass (`catch_unwind` contracts and shared state).
     Unwind,
+    /// CFG/dataflow panic-freedom proof (entry-point reachability).
+    PanicFree,
+    /// f64 integer-exactness proof at `// analyze: exact` sites.
+    Exactness,
 }
 
 impl Pass {
@@ -41,6 +45,8 @@ impl Pass {
             Pass::DeadPub => "dead-pub",
             Pass::Concurrency => "concurrency",
             Pass::Unwind => "unwind",
+            Pass::PanicFree => "panic-free",
+            Pass::Exactness => "exactness",
         }
     }
 }
@@ -93,7 +99,7 @@ pub struct ColdBoundary {
     pub reason: String,
 }
 
-/// Aggregated result of all four passes.
+/// Aggregated result of all passes.
 #[derive(Clone, Debug, Default)]
 pub struct AnalysisReport {
     /// Unsuppressed findings, sorted.
@@ -112,6 +118,11 @@ pub struct AnalysisReport {
     pub hot_roots: usize,
     /// `pub` items audited.
     pub pub_items: usize,
+    /// Shipped fns reachable from the binary entry points and proven
+    /// (or contracted) panic-free.
+    pub reachable_fns: usize,
+    /// `// analyze: exact` statements verified by the exactness pass.
+    pub exact_sites: usize,
 }
 
 impl AnalysisReport {
@@ -179,6 +190,8 @@ impl AnalysisReport {
                     ("fns", Json::UInt(self.fns_indexed as u64)),
                     ("hot_roots", Json::UInt(self.hot_roots as u64)),
                     ("pub_items", Json::UInt(self.pub_items as u64)),
+                    ("reachable_fns", Json::UInt(self.reachable_fns as u64)),
+                    ("exact_sites", Json::UInt(self.exact_sites as u64)),
                 ]),
             ),
             ("clean", Json::Bool(self.is_clean())),
@@ -215,7 +228,7 @@ impl AnalysisReport {
         }
         let _ = writeln!(
             out,
-            "csim-analyze: {} findings, {} suppressed, {} cold boundaries; {} crates, {} files, {} fns, {} hot roots, {} pub items",
+            "csim-analyze: {} findings, {} suppressed, {} cold boundaries; {} crates, {} files, {} fns, {} hot roots, {} pub items, {} panic-free reachable fns, {} exact sites",
             self.findings.len(),
             self.suppressions.len(),
             self.cold_boundaries.len(),
@@ -224,6 +237,8 @@ impl AnalysisReport {
             self.fns_indexed,
             self.hot_roots,
             self.pub_items,
+            self.reachable_fns,
+            self.exact_sites,
         );
         out
     }
@@ -256,6 +271,8 @@ mod tests {
             crates: 2,
             hot_roots: 1,
             pub_items: 4,
+            reachable_fns: 3,
+            exact_sites: 2,
         };
         r.sort();
         r

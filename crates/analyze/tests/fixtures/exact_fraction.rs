@@ -1,0 +1,25 @@
+//! Negative fixture for the exactness pass: a marked fractional
+//! accumulation must fire, an integer one must verify, and the
+//! `lint: allow` escape must suppress with a reason.
+
+struct Acc {
+    busy: f64,
+}
+
+impl Acc {
+    fn integer_ok(&mut self, n: u64) {
+        // analyze: exact — an integer count cast to f64 never rounds below 2^53
+        self.busy += n as f64;
+    }
+
+    fn fraction_bad(&mut self, cpi: f64) {
+        // analyze: exact — wrong on purpose: cpi is fractional
+        self.busy += cpi; // expected finding: exact-rhs
+    }
+
+    fn suppressed(&mut self, cpi: f64) {
+        // lint: allow(exact-rhs) — fixture: proving the escape outranks the marker
+        // analyze: exact — marked so the allow has something to suppress
+        self.busy += cpi;
+    }
+}

@@ -47,6 +47,17 @@ fn the_workspace_is_ratchet_clean() {
     assert!(rep.files_scanned > 100, "only {} files scanned", rep.files_scanned);
     assert!(rep.hot_roots > 0, "no hot roots — the hot-path pass is not exercising anything");
     assert!(rep.pub_items > 300, "only {} pub items audited", rep.pub_items);
+    assert!(
+        rep.reachable_fns > 300,
+        "only {} fns reachable from the simulator entry points — the panic-freedom sweep lost \
+         its call graph",
+        rep.reachable_fns
+    );
+    assert!(
+        rep.exact_sites >= 4,
+        "only {} `analyze: exact` sites audited — the exactness pass lost its markers",
+        rep.exact_sites
+    );
 }
 
 #[test]

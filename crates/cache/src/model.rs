@@ -197,6 +197,7 @@ impl Cache {
     /// call [`Cache::insert`].
     // analyze: hot
     #[inline]
+    // analyze: total — set_start returns set*assoc with the set index reduced below n_sets, and tags/dirty hold n_sets*assoc entries from construction, so every probe in the set window is in bounds
     pub fn access(&mut self, line: u64, write: bool) -> Outcome {
         debug_assert!(line < TAG_MASK, "line {line:#x} exceeds the legal tag range");
         let start = self.set_start(line);
@@ -270,6 +271,7 @@ impl Cache {
     /// set.
     // analyze: hot
     #[inline]
+    // analyze: total — set_start returns set*assoc with the set index reduced below n_sets, and tags/dirty hold n_sets*assoc entries from construction, so every probe in the set window is in bounds
     pub fn access_store_was_dirty(&mut self, line: u64) -> (Outcome, bool) {
         debug_assert!(line < TAG_MASK, "line {line:#x} exceeds the legal tag range");
         let start = self.set_start(line);
@@ -352,12 +354,14 @@ impl Cache {
     #[inline]
     pub fn contains(&self, line: u64) -> bool {
         let start = self.set_start(line);
+        // analyze: total — set_start returns set*assoc with the set index reduced below n_sets, and tags/dirty hold n_sets*assoc entries from construction, so every probe in the set window is in bounds
         self.tags[start..start + self.assoc].contains(&line)
     }
 
     /// Whether the line is present and modified. `false` when absent.
     // analyze: hot
     #[inline]
+    // analyze: total — set_start returns set*assoc with the set index reduced below n_sets, and tags/dirty hold n_sets*assoc entries from construction, so every probe in the set window is in bounds
     pub fn is_dirty(&self, line: u64) -> bool {
         let start = self.set_start(line);
         match self.tags[start..start + self.assoc].iter().position(|&t| t == line) {
@@ -375,6 +379,7 @@ impl Cache {
     /// must only insert after a miss.
     // analyze: hot
     #[inline]
+    // analyze: total — set_start returns set*assoc with the set index reduced below n_sets, and tags/dirty hold n_sets*assoc entries from construction, so every probe in the set window is in bounds
     pub fn insert(&mut self, line: u64, dirty: bool) -> Option<Evicted> {
         debug_assert!(line < TAG_MASK, "line {line:#x} exceeds the legal tag range");
         debug_assert!(!self.contains(line), "inserting line {line:#x} that is already cached");
@@ -417,6 +422,7 @@ impl Cache {
     }
 
     /// Removes a line. Returns `Some(dirty)` when it was present.
+    // analyze: total — set_start returns set*assoc with the set index reduced below n_sets, and tags/dirty hold n_sets*assoc entries from construction, so every probe in the set window is in bounds
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
         let start = self.set_start(line);
         let end = start + self.assoc;
@@ -439,6 +445,7 @@ impl Cache {
     /// Clears the dirty bit of a present line (coherence downgrade M→S).
     /// Returns `true` when the line was present.
     #[inline]
+    // analyze: total — set_start returns set*assoc with the set index reduced below n_sets, and tags/dirty hold n_sets*assoc entries from construction, so every probe in the set window is in bounds
     pub fn clean(&mut self, line: u64) -> bool {
         let start = self.set_start(line);
         for i in start..start + self.assoc {
@@ -453,6 +460,7 @@ impl Cache {
     /// Marks a present line dirty without an access (used when ownership is
     /// granted after an upgrade). Returns `true` when the line was present.
     #[inline]
+    // analyze: total — set_start returns set*assoc with the set index reduced below n_sets, and tags/dirty hold n_sets*assoc entries from construction, so every probe in the set window is in bounds
     pub fn mark_dirty(&mut self, line: u64) -> bool {
         let start = self.set_start(line);
         for i in start..start + self.assoc {

@@ -82,6 +82,7 @@ impl StackDistance {
     fn tree_prefix(&self, mut i: usize) -> u64 {
         let mut s = 0;
         while i > 0 {
+            // analyze: total — Fenwick descent: i -= i & i.wrapping_neg() only ever clears bits, so i stays within the tree it was built against
             s += self.tree[i];
             i -= i & i.wrapping_neg();
         }
@@ -107,6 +108,7 @@ impl StackDistance {
     /// Records one access to `line` and returns its stack distance
     /// (`None` for a cold, first-ever access).
     // analyze: cold — offline characterization tool (Mattson analysis of the workload footprint), used by the characterize bin and examples, never by the simulator loop; the name-based call graph conflates this `access` with the simulator's
+    // analyze: total — bits is grown past every recorded position before marking, and exact is resized to idx+1 on the cold path right before the increment
     pub fn access(&mut self, line: u64) -> Option<u64> {
         self.accesses += 1;
         let now = self.bits.len();

@@ -26,12 +26,58 @@
 //! * [`strip_noncode`] — blanks comments and string/char literals while
 //!   preserving byte length and line structure, so token-level rule
 //!   scans can never be tripped (or hidden) by prose;
-//! * [`markers`] — extracts `// lint: allow(rule) — reason`,
-//!   `// analyze: hot`, and `// analyze: cold — reason` directives from
-//!   *comment tokens only*. The old scanner searched raw lines, so a
-//!   marker spelled inside a string literal could fabricate an escape
-//!   and suppress a real finding; a directive is now only a directive
-//!   when it is actually a comment.
+//! * [`markers`] — extracts `// lint: allow(rule) — reason` and the
+//!   `// analyze:` directives (`hot`, `cold`, `publish`, `unwind`,
+//!   `total`, `exact`) from *comment tokens only*. The old scanner
+//!   searched raw lines, so a marker spelled inside a string literal
+//!   could fabricate an escape and suppress a real finding; a directive
+//!   is now only a directive when it is actually a comment.
+
+/// Control-flow keyword classes, for CFG construction.
+///
+/// The lexer itself keeps keywords as [`TokKind::Ident`] (losslessness
+/// does not care), but `csim-analyze`'s CFG builder needs to know which
+/// identifiers open branches, loops, and exits. Classifying them here —
+/// next to the lexer, in the one crate both analysis tools share —
+/// keeps the keyword set in a single place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtrlKw {
+    /// `if` — a two-way branch (the `else`-less form falls through).
+    If,
+    /// `else` — the other arm of an `if`.
+    Else,
+    /// `match` — an n-way branch.
+    Match,
+    /// `while` — a conditional loop (includes `while let`).
+    While,
+    /// `loop` — an unconditional loop, exits only by `break`/`return`.
+    Loop,
+    /// `for` — an iterator loop.
+    For,
+    /// `return` — an early exit to the function's exit block.
+    Return,
+    /// `break` — an exit to the innermost loop's join block.
+    Break,
+    /// `continue` — a back edge to the innermost loop's head.
+    Continue,
+}
+
+/// Classifies an identifier token as a control-flow keyword, or `None`
+/// for everything else.
+pub fn ctrl_kw(text: &str) -> Option<CtrlKw> {
+    Some(match text {
+        "if" => CtrlKw::If,
+        "else" => CtrlKw::Else,
+        "match" => CtrlKw::Match,
+        "while" => CtrlKw::While,
+        "loop" => CtrlKw::Loop,
+        "for" => CtrlKw::For,
+        "return" => CtrlKw::Return,
+        "break" => CtrlKw::Break,
+        "continue" => CtrlKw::Continue,
+        _ => return None,
+    })
+}
 
 /// What a token is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -383,6 +429,25 @@ pub enum MarkerKind {
         /// Why the panic boundary is sound (empty ⇒ inert).
         reason: String,
     },
+    /// `// analyze: total — reason` — a totality contract for the
+    /// panic-freedom pass: the partial operation on (or just below) this
+    /// line — or, when placed above a `fn`, every partial operation in
+    /// that function — cannot actually fail, for the stated reason
+    /// (e.g. an index derived from a power-of-two mask of the geometry).
+    /// The reason is mandatory; a bare `total` contracts nothing.
+    Total {
+        /// Why the partial operation is total here (empty ⇒ inert).
+        reason: String,
+    },
+    /// `// analyze: exact` — the f64 accumulation on (or just below)
+    /// this line claims integer-exactness: every value it receives must
+    /// be statically provable as integer-valued (`Int-exact` in the
+    /// exactness pass's domain). An optional reason may follow.
+    Exact {
+        /// Optional commentary (not required — the claim itself is the
+        /// contract, and the pass *verifies* rather than trusts it).
+        reason: String,
+    },
 }
 
 /// A directive plus the 1-based line it sits on.
@@ -432,6 +497,16 @@ pub fn markers(source: &str) -> Vec<Marker> {
                 out.push(Marker {
                     line: tok.line,
                     kind: MarkerKind::Unwind { reason: trim_reason(r) },
+                });
+            } else if let Some(r) = rest.strip_prefix("total") {
+                out.push(Marker {
+                    line: tok.line,
+                    kind: MarkerKind::Total { reason: trim_reason(r) },
+                });
+            } else if let Some(r) = rest.strip_prefix("exact") {
+                out.push(Marker {
+                    line: tok.line,
+                    kind: MarkerKind::Exact { reason: trim_reason(r) },
                 });
             }
         }
@@ -562,6 +637,51 @@ y.store(2, Ordering::Relaxed);
         // Reasonless markers parse but carry an empty reason — callers
         // treat that as inert, exactly like reasonless `cold`.
         assert!(matches!(&m[2].kind, MarkerKind::Publish { reason } if reason.is_empty()));
+    }
+
+    #[test]
+    fn total_and_exact_markers_parse() {
+        let src = "\
+// analyze: total — index derived from pow2 mask, invariant held by new()
+let t = tags[idx];
+// analyze: exact
+bd.busy_cycles += n as f64;
+// analyze: exact — closed-form retire, argument proven integer-valued
+bd.busy_cycles += 1.0;
+// analyze: total
+let u = tags[other];
+";
+        let m = markers(src);
+        assert_eq!(m.len(), 4, "{m:?}");
+        assert!(matches!(&m[0].kind, MarkerKind::Total { reason }
+            if reason.contains("pow2 mask")));
+        assert_eq!(m[0].line, 1);
+        assert!(matches!(&m[1].kind, MarkerKind::Exact { reason } if reason.is_empty()));
+        assert!(matches!(&m[2].kind, MarkerKind::Exact { reason }
+            if reason.contains("closed-form")));
+        // A reasonless total parses but carries an empty reason — the
+        // model treats that as inert, like reasonless cold/publish.
+        assert!(matches!(&m[3].kind, MarkerKind::Total { reason } if reason.is_empty()));
+    }
+
+    #[test]
+    fn ctrl_kw_classifies_exactly_the_control_keywords() {
+        for (kw, class) in [
+            ("if", CtrlKw::If),
+            ("else", CtrlKw::Else),
+            ("match", CtrlKw::Match),
+            ("while", CtrlKw::While),
+            ("loop", CtrlKw::Loop),
+            ("for", CtrlKw::For),
+            ("return", CtrlKw::Return),
+            ("break", CtrlKw::Break),
+            ("continue", CtrlKw::Continue),
+        ] {
+            assert_eq!(ctrl_kw(kw), Some(class), "{kw}");
+        }
+        for not_kw in ["iff", "match_arm", "looped", "fn", "let", "x", ""] {
+            assert_eq!(ctrl_kw(not_kw), None, "{not_kw}");
+        }
     }
 
     #[test]

@@ -125,26 +125,16 @@ impl Simulation<NodeWorkload> {
     /// exceeds the directory's machine-size limit.
     pub fn with_oltp(cfg: &SystemConfig, params: OltpParams) -> Result<Self, SimError> {
         let streams = OltpWorkload::build(params, cfg.total_cores())?;
-        let shared = streams[0].shared_handle();
+        // A zero-core config can't reach here (try_new rejects it), but
+        // the handle lookup stays total regardless.
+        let shared = streams.first().map(|s| s.shared_handle());
         let mut sim = Simulation::try_new(cfg, streams)?;
-        sim.txn_source = Some(shared);
+        sim.txn_source = shared;
         Ok(sim)
     }
 }
 
 impl<S: ReferenceStream> Simulation<S> {
-    /// Builds a simulation of `cfg` fed by the given per-node streams.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `streams.len() != cfg.total_cores()` (one stream per
-    /// core) or the node count exceeds the directory's 64-node limit.
-    /// [`Simulation::try_new`] is the non-panicking equivalent.
-    pub fn new(cfg: &SystemConfig, streams: Vec<S>) -> Self {
-        // lint: allow(no-panic) — documented panicking constructor; try_new is the fallible API
-        Self::try_new(cfg, streams).unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Builds a simulation of `cfg` fed by the given per-node streams,
     /// reporting invalid combinations as values instead of panicking.
     ///
@@ -417,6 +407,7 @@ impl<S: ReferenceStream> Simulation<S> {
     /// Retained as the oracle the batched paths are differentially
     /// tested against ([`Simulation::set_batched_dispatch`]).
     // analyze: hot
+    // analyze: total — placement and streams have one entry per core: try_new checks streams.len() against the config's core total and placement is built from the same enumeration
     fn advance_single_step(&mut self, refs_per_node: u64) {
         // The epoch check is hoisted into two loop bodies so the common
         // no-epochs configuration never tests it per round.
@@ -456,6 +447,7 @@ impl<S: ReferenceStream> Simulation<S> {
     ///
     /// [`dispatch_word`]: Simulation::dispatch_word
     // analyze: hot
+    // analyze: total — the single-stream fast path: try_new rejects zero-core configs so streams[0]/placement[0] exist, and next_burst returns got <= col.len() by its trait contract
     fn advance_batched_single(&mut self, refs_per_node: u64) {
         let (n, c) = self.placement[0];
         let (n, c) = (n as usize, c as usize);
@@ -528,6 +520,7 @@ impl<S: ReferenceStream> Simulation<S> {
     /// the virtual-call and buffer-management cost amortizes over the
     /// column depth.
     // analyze: hot
+    // analyze: total — cols holds streams.len()*BURST_COLS words with one window per stream, and next_burst keeps got <= BURST_COLS by its trait contract
     fn advance_batched_multi(&mut self, refs_per_node: u64) {
         let epoch = self.observer.epoch_len();
         for r in 0..refs_per_node {
@@ -568,6 +561,7 @@ impl<S: ReferenceStream> Simulation<S> {
     fn dispatch_word(&mut self, n: usize, c: usize, word: u64) {
         if word >> PACKED_ACCESS_SHIFT & 0x3 == 0 {
             let line = (word & PACKED_ADDR_MASK) / LINE_SIZE;
+            // analyze: total — node and core ids come from placement entries validated against the node grid in try_new
             let core = &mut self.nodes[n].cores[c];
             if line == core.last_ifetch_line {
                 core.timing.retire_instruction(&mut core.bd);
@@ -687,6 +681,7 @@ impl<S: ReferenceStream> Simulation<S> {
                 kind: EventKind::Miss { class: obs, latency },
             });
         }
+        // analyze: total — node and core ids come from placement entries validated against the node grid in try_new
         let core = &mut self.nodes[n].cores[c];
         core.timing.stall(class, latency, &mut core.bd);
     }
@@ -802,7 +797,9 @@ impl<S: ReferenceStream> Simulation<S> {
     // analyze: cold — same per-reference timing boundary as `access`; the closed-form retire's float exactness is proven at `InOrderTiming::retire_instructions`
     #[inline]
     fn retire_ifetch_run(&mut self, n: usize, c: usize, k: u64) {
+        // analyze: total — node and core ids come from placement entries validated against the node grid in try_new
         let core = &mut self.nodes[n].cores[c];
+        // analyze: exact — the batched retire feeds the closed form an integer run length
         core.timing.retire_instructions(k, &mut core.bd);
         core.l1i.record_repeat_read_hits(k);
     }
@@ -820,6 +817,7 @@ impl<S: ReferenceStream> Simulation<S> {
         // Retire + L1 probe share one bounds-checked core borrow: this
         // runs once per reference, so the double index was measurable.
         let (l1_hit, owned) = {
+            // analyze: total — node and core ids come from placement entries validated against the node grid in try_new
             let core = &mut self.nodes[n].cores[c];
             if is_ifetch {
                 core.timing.retire_instruction(&mut core.bd);
@@ -859,6 +857,7 @@ impl<S: ReferenceStream> Simulation<S> {
     /// hit still needing the ownership walk, or an L1 miss heading into
     /// the L2 and the coherence machinery.
     // analyze: cold — the per-reference timing model is float CPI arithmetic by design (the paper's analytical overlap model); reproducibility is guarded by the bit-identity tests, not by integer-only arithmetic
+    // analyze: total — node ids are validated placement entries (try_new) or directory-reported homes/owners/sharers, which the directory reduces modulo the node count
     fn access_below_l1(
         &mut self,
         n: usize,
@@ -914,6 +913,7 @@ impl<S: ReferenceStream> Simulation<S> {
     /// invalidate) is free; otherwise the store stalls for a local or
     /// 2-hop directory transaction. Upgrades are counted separately from
     /// L2 misses, as in the paper.
+    // analyze: total — node ids are validated placement entries (try_new) or directory-reported homes/owners/sharers, which the directory reduces modulo the node count
     fn ensure_ownership(&mut self, n: usize, c: usize, line: u64) {
         if self.nodes[n].l2.is_dirty(line) {
             return;
@@ -944,6 +944,7 @@ impl<S: ReferenceStream> Simulation<S> {
         self.charge(n, c, class, latency, MissClass::Upgrade, line);
     }
 
+    // analyze: total — node ids are validated placement entries (try_new) or directory-reported homes/owners/sharers, which the directory reduces modulo the node count
     fn l2_miss(&mut self, n: usize, c: usize, line: u64, is_ifetch: bool, write: bool) {
         // OS-replicated instruction pages: every node has a private local
         // copy; no coherence involvement, so only the local memory
@@ -1054,6 +1055,7 @@ impl<S: ReferenceStream> Simulation<S> {
 
     /// Service an L2 miss from the node's own RAC (data lives in local
     /// memory: local-latency, counted as a local miss).
+    // analyze: total — node ids are validated placement entries (try_new) or directory-reported homes/owners/sharers, which the directory reduces modulo the node count
     fn rac_hit(&mut self, n: usize, c: usize, line: u64, is_ifetch: bool, write: bool) {
         let parked_dirty = matches!(
             self.dir.state(line),
@@ -1103,6 +1105,7 @@ impl<S: ReferenceStream> Simulation<S> {
 
     /// Install a line into the L2 (and requesting L1), handling the L2
     /// victim: inclusion invalidations, dirty writeback or RAC parking.
+    // analyze: total — node ids are validated placement entries (try_new) or directory-reported homes/owners/sharers, which the directory reduces modulo the node count
     fn fill(&mut self, n: usize, c: usize, line: u64, dirty: bool, is_ifetch: bool, write: bool) {
         let victim = self.nodes[n].l2.insert(line, dirty);
         if let Some(v) = victim {
@@ -1150,6 +1153,7 @@ impl<S: ReferenceStream> Simulation<S> {
 
     /// Install a clean copy of a freshly fetched remote line into the RAC.
     fn rac_fill(&mut self, n: usize, line: u64) {
+        // analyze: total — node ids are validated placement entries (try_new) or directory-reported homes/owners/sharers, which the directory reduces modulo the node count
         let Some(rac) = self.nodes[n].rac.as_mut() else { return };
         if rac.contains(line) {
             return;
@@ -1166,6 +1170,7 @@ impl<S: ReferenceStream> Simulation<S> {
     /// transaction).
     fn downgrade_owner(&mut self, owner: NodeId, line: u64, source: FillSource) {
         let in_rac = matches!(source, FillSource::OwnerCache { in_rac: true, .. });
+        // analyze: total — node ids are validated placement entries (try_new) or directory-reported homes/owners/sharers, which the directory reduces modulo the node count
         let node = &mut self.nodes[owner as usize];
         if in_rac {
             let cleaned = node.rac.as_mut().map(|r| r.clean(line)).unwrap_or(false);
@@ -1201,6 +1206,7 @@ impl<S: ReferenceStream> Simulation<S> {
     /// # Errors
     ///
     /// The first violated invariant, with the line and location.
+    // analyze: total — node ids are validated placement entries (try_new) or directory-reported homes/owners/sharers, which the directory reduces modulo the node count
     pub fn verify_coherence(&self) -> Result<(), CoherenceViolation> {
         for (line, state) in self.dir.iter() {
             match state {
@@ -1269,6 +1275,7 @@ impl<S: ReferenceStream> Simulation<S> {
     }
 
     fn invalidate_all_at(&mut self, m: usize, line: u64) {
+        // analyze: total — node ids are validated placement entries (try_new) or directory-reported homes/owners/sharers, which the directory reduces modulo the node count
         let node = &mut self.nodes[m];
         for core in &mut node.cores {
             core.l1i.invalidate(line);
@@ -1302,6 +1309,12 @@ mod tests {
 
     const LPP: u64 = PAGE_SIZE / LINE_SIZE; // lines per page = 128
 
+    /// Test shorthand for the fallible constructor: every fixture here
+    /// pairs a config with a matching stream count.
+    fn sim_new<S: ReferenceStream>(cfg: &SystemConfig, streams: Vec<S>) -> Simulation<S> {
+        Simulation::try_new(cfg, streams).unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Byte address of a line homed at `home` (given `n` nodes) with a
     /// distinguishing index `i`.
     fn addr_homed(home: u64, i: u64, n_nodes: u64) -> u64 {
@@ -1330,7 +1343,7 @@ mod tests {
     #[test]
     fn uniprocessor_load_miss_then_hits() {
         let cfg = tiny_cfg(1);
-        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&[load(0)])]);
+        let mut sim = sim_new(&cfg, vec![SliceStream::cycle(&[load(0)])]);
         let rep = sim.run(10);
         // First access misses to local memory; the rest hit in L1.
         assert_eq!(rep.misses.total(), 1);
@@ -1347,7 +1360,7 @@ mod tests {
         // but coexist in the 2-way L2.
         let a = 0u64;
         let b = 16 * 64;
-        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&[load(a), load(b)])]);
+        let mut sim = sim_new(&cfg, vec![SliceStream::cycle(&[load(a), load(b)])]);
         sim.warm_up(4);
         let rep = sim.run(10);
         assert_eq!(rep.misses.total(), 0, "both lines live in the L2");
@@ -1358,7 +1371,7 @@ mod tests {
     #[test]
     fn instructions_count_busy_cycles() {
         let cfg = tiny_cfg(1);
-        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&[ifetch(0)])]);
+        let mut sim = sim_new(&cfg, vec![SliceStream::cycle(&[ifetch(0)])]);
         let rep = sim.run(100);
         assert_eq!(rep.breakdown.instructions, 100);
         assert_eq!(rep.breakdown.busy_cycles, 100.0);
@@ -1372,7 +1385,7 @@ mod tests {
         // Node 0 writes the line, node 1 reads it.
         let s0 = SliceStream::cycle(&[store(a)]);
         let s1 = SliceStream::cycle(&[load(a)]);
-        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let mut sim = sim_new(&cfg, vec![s0, s1]);
         let rep = sim.run(1);
         // Node 0: cold write miss to its local home. Node 1: 3-hop dirty.
         assert_eq!(rep.per_node[0].local_cycles, cfg.latencies().local as f64);
@@ -1388,7 +1401,7 @@ mod tests {
         let a = addr_homed(0, 3, 2);
         let s0 = SliceStream::cycle(&[store(a)]);
         let s1 = SliceStream::cycle(&[store(a)]);
-        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let mut sim = sim_new(&cfg, vec![s0, s1]);
         sim.warm_up(1);
         let rep = sim.run(10);
         // Every store misses and finds the other node's dirty copy.
@@ -1401,7 +1414,7 @@ mod tests {
         let cfg = tiny_cfg(4);
         let a = addr_homed(2, 1, 4);
         let streams: Vec<_> = (0..4).map(|_| SliceStream::cycle(&[load(a)])).collect();
-        let mut sim = Simulation::new(&cfg, vec![
+        let mut sim = sim_new(&cfg, vec![
             streams[0].clone(),
             streams[1].clone(),
             streams[2].clone(),
@@ -1418,7 +1431,7 @@ mod tests {
         let a = addr_homed(0, 1, 2);
         let s0 = SliceStream::cycle(&[load(a), store(a)]);
         let s1 = SliceStream::cycle(&[load(a), load(a)]);
-        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let mut sim = sim_new(&cfg, vec![s0, s1]);
         let rep = sim.run(2);
         // Node 0 read (cold, local), node 1 read (2-hop), node 0 store
         // (upgrade invalidating node 1).
@@ -1431,7 +1444,7 @@ mod tests {
     #[test]
     fn local_upgrade_with_no_sharers_is_free() {
         let cfg = tiny_cfg(1);
-        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&[load(0), store(0)])]);
+        let mut sim = sim_new(&cfg, vec![SliceStream::cycle(&[load(0), store(0)])]);
         let rep = sim.run(5);
         assert_eq!(rep.upgrades, 1, "first store upgrades; later stores own the line");
         // No stall was charged for the upgrade: only the initial cold
@@ -1453,7 +1466,7 @@ mod tests {
         refs0.push(load(addr_homed(0, 50, 2))); // idle filler
         let s0 = SliceStream::cycle(&refs0);
         let s1 = SliceStream::cycle(&[load(addr_homed(1, 60, 2))]);
-        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let mut sim = sim_new(&cfg, vec![s0, s1]);
         sim.run(6);
         // After node 0's eviction, the line is clean at its home: node 1
         // reading it now is a 2-hop (here: local-home for node 1) miss,
@@ -1475,7 +1488,7 @@ mod tests {
         let b = 64 * 64;
         let c = 2 * 64 * 64;
         let refs = [load(a), load(b), load(c), load(a)];
-        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&refs)]);
+        let mut sim = sim_new(&cfg, vec![SliceStream::cycle(&refs)]);
         let rep = sim.run(4);
         // `a` was evicted from L2 by `c` (LRU), so the final load of `a`
         // must miss again even though the L1 could still have held it.
@@ -1492,7 +1505,7 @@ mod tests {
         let a = addr_homed(0, 1, 2);
         let s0 = SliceStream::cycle(&[load(addr_homed(0, 9, 2))]);
         let s1 = SliceStream::cycle(&[ifetch(a)]);
-        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let mut sim = sim_new(&cfg, vec![s0, s1]);
         let rep = sim.run(1);
         assert_eq!(rep.misses.instr_local, 1);
         assert_eq!(rep.misses.instr_remote, 0);
@@ -1505,7 +1518,7 @@ mod tests {
         let a = addr_homed(0, 1, 2);
         let s0 = SliceStream::cycle(&[load(addr_homed(0, 9, 2))]);
         let s1 = SliceStream::cycle(&[ifetch(a)]);
-        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let mut sim = sim_new(&cfg, vec![s0, s1]);
         let rep = sim.run(1);
         assert_eq!(rep.misses.instr_remote, 1);
     }
@@ -1535,7 +1548,7 @@ mod tests {
         refs.push(load(a));
         let s0 = SliceStream::cycle(&refs);
         let s1 = SliceStream::cycle(&[load(addr_homed(1, 70, 2))]);
-        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let mut sim = sim_new(&cfg, vec![s0, s1]);
         let rep = sim.run(4);
         // The re-read hit the RAC: counted local, charged rac_hit.
         assert_eq!(rep.rac.hits, 1);
@@ -1553,7 +1566,7 @@ mod tests {
         }
         let s0 = SliceStream::cycle(&refs);
         let s1 = SliceStream::cycle(&[load(addr_homed(1, 70, 2))]);
-        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let mut sim = sim_new(&cfg, vec![s0, s1]);
         sim.run(3);
         assert_eq!(
             sim.dir.state(a / 64),
@@ -1579,7 +1592,7 @@ mod tests {
             load(addr_homed(0, 80, 2)),
             load(a),
         ]);
-        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let mut sim = sim_new(&cfg, vec![s0, s1]);
         let rep = sim.run(4);
         assert_eq!(
             rep.per_node[0].remote_dirty_cycles,
@@ -1591,7 +1604,7 @@ mod tests {
     #[test]
     fn reset_stats_clears_counts_but_keeps_cache_contents() {
         let cfg = tiny_cfg(1);
-        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&[load(0)])]);
+        let mut sim = sim_new(&cfg, vec![SliceStream::cycle(&[load(0)])]);
         sim.warm_up(5);
         let rep = sim.run(5);
         assert_eq!(rep.misses.total(), 0, "warmup kept the line resident");
@@ -1603,7 +1616,7 @@ mod tests {
         let cfg = tiny_cfg(2);
         let s0 = SliceStream::cycle(&[ifetch(addr_homed(0, 5, 2))]);
         let s1 = SliceStream::cycle(&[ifetch(addr_homed(1, 6, 2))]);
-        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let mut sim = sim_new(&cfg, vec![s0, s1]);
         let rep = sim.run(10);
         assert_eq!(rep.per_node.len(), 2);
         assert_eq!(rep.breakdown.instructions, 20);
@@ -1617,7 +1630,7 @@ mod tests {
     #[should_panic(expected = "one reference stream per core")]
     fn stream_count_mismatch_panics() {
         let cfg = tiny_cfg(2);
-        let _ = Simulation::new(&cfg, vec![SliceStream::cycle(&[load(0)])]);
+        let _ = sim_new(&cfg, vec![SliceStream::cycle(&[load(0)])]);
     }
 
     #[test]
@@ -1631,7 +1644,7 @@ mod tests {
         let cfg = b.build().unwrap();
         let s0 = SliceStream::cycle(&[store(0)]);
         let s1 = SliceStream::cycle(&[load(0)]);
-        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let mut sim = sim_new(&cfg, vec![s0, s1]);
         let rep = sim.run(4);
         // One cold write miss by core 0; core 1's first read is an L2 hit.
         assert_eq!(rep.misses.total(), 1);
@@ -1655,7 +1668,7 @@ mod tests {
             SliceStream::cycle(&[load(a)]),
             SliceStream::cycle(&[load(addr_homed(1, 9, 2))]),
         ];
-        let mut sim = Simulation::new(&cfg, streams);
+        let mut sim = sim_new(&cfg, streams);
         let rep = sim.run(1);
         assert_eq!(rep.misses.data_remote_dirty, 1, "cross-chip read finds dirty data");
         sim.verify_coherence().unwrap();
@@ -1673,7 +1686,7 @@ mod tests {
         let a = 0u64;
         let s0 = SliceStream::cycle(&[load(a), load(64 * 64), load(2 * 64 * 64), load(3 * 64 * 64)]);
         let s1 = SliceStream::cycle(&[load(a)]);
-        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let mut sim = sim_new(&cfg, vec![s0, s1]);
         let rep = sim.run(4);
         // a was evicted by the third conflicting line; the 4th round's
         // core-1 load of a misses again.
@@ -1711,7 +1724,7 @@ mod tests {
         refs.push(store(a));
         let s0 = SliceStream::cycle(&refs);
         let s1 = SliceStream::cycle(&[load(addr_homed(1, 70, 2))]);
-        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let mut sim = sim_new(&cfg, vec![s0, s1]);
         let rep = sim.run(4);
         assert_eq!(rep.rac.hits, 1, "the store's data came from the RAC");
         assert_eq!(rep.upgrades, 1, "ownership required an upgrade");
@@ -1730,7 +1743,7 @@ mod tests {
         let mut b = SystemConfig::builder();
         b.l1(l1).l2_off_chip(8192, 2).out_of_order(OooParams::paper());
         let cfg = b.build().unwrap();
-        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&[ifetch(0)])]);
+        let mut sim = sim_new(&cfg, vec![SliceStream::cycle(&[ifetch(0)])]);
         let rep = sim.run(100);
         assert_eq!(rep.breakdown.instructions, 100);
         assert!(
@@ -1745,7 +1758,7 @@ mod tests {
         let a = addr_homed(1, 1, 2); // homed at node 1
         let s0 = SliceStream::cycle(&[ifetch(a)]);
         let s1 = SliceStream::cycle(&[load(addr_homed(1, 50, 2))]);
-        let mut sim = Simulation::new(&cfg, vec![s0, s1]);
+        let mut sim = sim_new(&cfg, vec![s0, s1]);
         let rep = sim.run(1);
         assert_eq!(rep.misses.instr_remote, 1);
         assert_eq!(rep.misses.instr_local, 0);
@@ -1769,7 +1782,7 @@ mod tests {
         let run_one = |cfg: &SystemConfig| {
             let s0 = SliceStream::cycle(&[load(a)]);
             let s1 = SliceStream::cycle(&[load(addr_homed(1, 50, 2))]);
-            let mut sim = Simulation::new(cfg, vec![s0, s1]);
+            let mut sim = sim_new(cfg, vec![s0, s1]);
             sim.run(1).per_node[0].remote_clean_cycles
         };
         let l2_only = run_one(&mk(IntegrationLevel::L2Integrated));
@@ -1781,7 +1794,7 @@ mod tests {
     #[test]
     fn report_carries_config_summary_and_refs() {
         let cfg = tiny_cfg(1);
-        let mut sim = Simulation::new(&cfg, vec![SliceStream::cycle(&[load(0)])]);
+        let mut sim = sim_new(&cfg, vec![SliceStream::cycle(&[load(0)])]);
         let rep = sim.run(7);
         assert!(rep.config_summary.contains("1p"));
         assert_eq!(rep.refs_per_node, 7);
@@ -1816,7 +1829,7 @@ mod tests {
         let mk = || {
             let s0 = SliceStream::cycle(&[store(addr_homed(0, 1, 2)), load(addr_homed(1, 2, 2))]);
             let s1 = SliceStream::cycle(&[load(addr_homed(0, 1, 2)), store(addr_homed(1, 3, 2))]);
-            Simulation::new(&cfg, vec![s0, s1])
+            sim_new(&cfg, vec![s0, s1])
         };
         let plain = mk().run(500);
         let verified = mk().run_verified(500, 50).expect("coherent");
@@ -1833,8 +1846,8 @@ mod tests {
                 SliceStream::cycle(&[load(addr_homed(1, 0, 2)), store(addr_homed(0, 7, 2))]),
             ]
         };
-        let mut bare = Simulation::new(&cfg, streams());
-        let mut wired = Simulation::new(&cfg, streams())
+        let mut bare = sim_new(&cfg, streams());
+        let mut wired = sim_new(&cfg, streams())
             .with_fault_injector(FaultInjector::new(FaultPlan::none(), 42).unwrap());
         bare.warm_up(200);
         wired.warm_up(200);
@@ -1850,8 +1863,8 @@ mod tests {
                 SliceStream::cycle(&[load(addr_homed(1, 0, 2)), store(addr_homed(0, 7, 2))]),
             ]
         };
-        let mut bare = Simulation::new(&cfg, streams());
-        let mut sane = Simulation::new(&cfg, streams()).with_sanitizer();
+        let mut bare = sim_new(&cfg, streams());
+        let mut sane = sim_new(&cfg, streams()).with_sanitizer();
         bare.warm_up(200);
         sane.warm_up(200);
         assert_eq!(bare.run(1_000), sane.run(1_000));
@@ -1891,8 +1904,8 @@ mod tests {
         // Start the windows at 0 so the short test run sees them.
         plan.link_faults[0].start = 0;
         plan.mc_faults[0].start = 0;
-        let clean = Simulation::new(&cfg, streams()).run(2_000);
-        let mut sim = Simulation::new(&cfg, streams())
+        let clean = sim_new(&cfg, streams()).run(2_000);
+        let mut sim = sim_new(&cfg, streams())
             .with_fault_injector(FaultInjector::new(plan, 7).unwrap());
         let faulty = sim.run(2_000);
         assert!(faulty.faults.nacks > 0, "5% NACKs over thousands of txns must fire");
@@ -1923,7 +1936,7 @@ mod tests {
                 SliceStream::cycle(&[store(addr_homed(0, 1, 2)), load(addr_homed(1, 2, 2))]),
                 SliceStream::cycle(&[load(addr_homed(0, 1, 2))]),
             ];
-            let mut sim = Simulation::new(&cfg, streams)
+            let mut sim = sim_new(&cfg, streams)
                 .with_fault_injector(FaultInjector::new(FaultPlan::storm(), seed).unwrap());
             sim.run(3_000)
         };

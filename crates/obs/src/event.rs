@@ -208,6 +208,7 @@ impl EventRing {
         if self.buf.len() < self.capacity {
             self.buf.push(event);
         } else {
+            // analyze: total — the displacing branch only runs once the ring is full, when head has been reduced modulo capacity == buf.len()
             self.buf[self.head] = event;
             self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
@@ -216,6 +217,7 @@ impl EventRing {
 
     /// Events currently held, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        // analyze: total — head is 0 until the ring fills and afterwards stays reduced modulo capacity == buf.len(), and a start-bound slice at len is empty rather than out of range
         self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
     }
 

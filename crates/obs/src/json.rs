@@ -296,6 +296,7 @@ fn value(b: &[u8], pos: usize, depth: usize) -> Result<usize, JsonError> {
 }
 
 fn literal(b: &[u8], pos: usize, lit: &str) -> Result<usize, JsonError> {
+    // analyze: total — pos <= b.len() is the parser cursor invariant and a start-bound slice at the end is empty, not out of range
     if b[pos..].starts_with(lit.as_bytes()) {
         Ok(pos + lit.len())
     } else {
@@ -343,6 +344,7 @@ fn number(b: &[u8], pos: usize) -> Result<usize, JsonError> {
         return Err(err(start, "malformed number"));
     }
     // No leading zeros (except "0" itself).
+    // analyze: total — the digit loops only advance pos while in bounds, so int_start <= pos <= b.len() and both cuts are ASCII boundaries
     if b[int_start] == b'0' && pos - int_start > 1 {
         return Err(err(start, "leading zero in number"));
     }
@@ -453,6 +455,7 @@ fn parse_value(b: &[u8], pos: usize, depth: usize) -> Result<(Json, usize), Json
             let after = number(b, pos)?;
             // The number grammar only admits ASCII, so the slice is
             // valid UTF-8 by construction.
+            // analyze: total — number() advanced the cursor over at least one in-bounds byte, so the slice ends within b
             let raw = std::str::from_utf8(&b[pos..after])
                 .map_err(|_| err(pos, "malformed number"))?;
             Ok((classify_number(raw, pos)?, after))

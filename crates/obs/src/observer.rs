@@ -129,6 +129,7 @@ impl Observer {
 
     /// Records one serviced latency of `class` (histogram + class mix).
     #[inline]
+    // analyze: total — MissClass::index() is the variant's position and the per-class arrays hold one slot per variant
     pub fn record_latency(&mut self, class: MissClass, latency: u64) {
         if !self.is_enabled() {
             return;
@@ -175,6 +176,7 @@ impl Observer {
 
     /// The per-class histogram, when histograms are on.
     pub fn histogram(&self, class: MissClass) -> Option<&LatencyHistogram> {
+        // analyze: total — MissClass::index() is the variant's position and the per-class arrays hold one slot per variant
         self.hists.as_ref().map(|h| &h[class.index()])
     }
 
@@ -226,6 +228,7 @@ impl Observer {
             Some(hs) => Json::Obj(
                 MissClass::ALL
                     .into_iter()
+                    // analyze: total — MissClass::index() is the variant's position and the per-class arrays hold one slot per variant
                     .map(|c| (c.as_str().to_string(), histogram_json(&hs[c.index()])))
                     .collect(),
             ),

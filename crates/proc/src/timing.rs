@@ -45,6 +45,7 @@ impl TimingModel for InOrderTiming {
     #[inline]
     fn retire_instruction(&mut self, bd: &mut ExecBreakdown) {
         bd.instructions += 1;
+        // analyze: exact — unit increment of an integer-valued accumulator
         bd.busy_cycles += 1.0;
     }
 
@@ -59,11 +60,13 @@ impl TimingModel for InOrderTiming {
     #[inline]
     fn retire_instructions(&mut self, n: u64, bd: &mut ExecBreakdown) {
         bd.instructions += n;
+        // analyze: exact — the closed form the doc comment argues: an integer count cast to f64
         bd.busy_cycles += n as f64;
     }
 
     #[inline]
     fn stall(&mut self, class: StallClass, latency_cycles: u64, bd: &mut ExecBreakdown) {
+        // analyze: exact — in-order stalls charge whole cycles; the bucket stays integer-valued
         bd.charge(class, latency_cycles as f64);
     }
 }

@@ -126,6 +126,7 @@ impl Attribution {
     /// to exactly `actual`.
     // analyze: hot
     #[inline]
+    // analyze: total — Component::index()/MissClass::index() are variant positions and the cells matrix is sized COMPONENTS x CLASSES at construction
     pub fn record(&mut self, class: MissClass, shape: StallClass, base: u64, actual: u64) {
         let attributable = base.min(actual);
         let l1 = L1_PROBE_CYCLES.min(attributable);
@@ -158,6 +159,7 @@ impl Attribution {
     /// [`Component::FaultExtra`] under [`MissClass::NackRetry`].
     // analyze: hot
     #[inline]
+    // analyze: total — Component::index()/MissClass::index() are variant positions and the cells matrix is sized COMPONENTS x CLASSES at construction
     pub fn record_nack(&mut self, cycles: u64) {
         self.cells[MissClass::NackRetry.index()][Component::FaultExtra.index()] +=
             u128::from(cycles);
@@ -166,22 +168,26 @@ impl Attribution {
 
     /// Cycles attributed to `component` under `class`.
     pub fn cell(&self, class: MissClass, component: Component) -> u128 {
+        // analyze: total — Component::index()/MissClass::index() are variant positions and the cells matrix is sized COMPONENTS x CLASSES at construction
         self.cells[class.index()][component.index()]
     }
 
     /// References recorded under `class`.
     pub fn class_count(&self, class: MissClass) -> u64 {
+        // analyze: total — Component::index()/MissClass::index() are variant positions and the cells matrix is sized COMPONENTS x CLASSES at construction
         self.counts[class.index()]
     }
 
     /// Total cycles recorded under `class` (sum over components) —
     /// exactly the observer histogram's sum for the same class.
     pub fn class_cycles(&self, class: MissClass) -> u128 {
+        // analyze: total — Component::index()/MissClass::index() are variant positions and the cells matrix is sized COMPONENTS x CLASSES at construction
         self.cells[class.index()].iter().sum()
     }
 
     /// Total cycles attributed to `component` across all classes.
     pub fn component_cycles(&self, component: Component) -> u128 {
+        // analyze: total — Component::index()/MissClass::index() are variant positions and the cells matrix is sized COMPONENTS x CLASSES at construction
         self.cells.iter().map(|row| row[component.index()]).sum()
     }
 

@@ -95,6 +95,7 @@ pub struct RegionReport {
 impl RegionReport {
     /// Samples observed in `region`.
     pub fn samples(&self, region: Region) -> u64 {
+        // analyze: total — Region discriminants index a counts array with one slot per Region variant
         self.counts[region as usize]
     }
 

@@ -58,27 +58,27 @@ impl TextTable {
         let cols = self.header.len();
         let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
             }
         }
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();
-            for i in 0..cols {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
                 if i > 0 {
                     line.push_str("  ");
                 }
                 if i == 0 {
-                    line.push_str(&format!("{:<w$}", cells[i], w = widths[i]));
+                    line.push_str(&format!("{:<w$}", cell, w = *w));
                 } else {
-                    line.push_str(&format!("{:>w$}", cells[i], w = widths[i]));
+                    line.push_str(&format!("{:>w$}", cell, w = *w));
                 }
             }
             line.push('\n');
             line
         };
         let mut out = fmt_row(&self.header);
-        out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))));
+        out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1))));
         for row in &self.rows {
             out.push_str(&fmt_row(row));
         }

@@ -76,6 +76,7 @@ fn decode_line(line: &[u8]) -> Result<Json, String> {
     }
     let stored = u32::from_str_radix(crc_hex, 16)
         .map_err(|_| format!("bad CRC field '{crc_hex}'"))?;
+    // analyze: total — split_at(8) on a line of length >= 10 leaves rest holding the space and payload, so rest[1..] is in range
     let payload = &rest[1..];
     let actual = crc32(payload.as_bytes());
     if stored != actual {

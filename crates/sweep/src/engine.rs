@@ -529,6 +529,7 @@ pub fn run_sweep_cfg(plan: &SweepPlan, cfg: &SweepConfig) -> Result<SweepOutcome
 /// # Errors
 ///
 /// As [`run_sweep_cfg`].
+// analyze: total — selection pairs grid indices with specs from the plan's own enumeration, so every idx is < specs.len(), and restored/slots are allocated with specs.len() slots
 pub fn run_sweep_with(
     plan: &SweepPlan,
     cfg: &SweepConfig,

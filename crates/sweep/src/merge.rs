@@ -117,6 +117,12 @@ pub fn merge_shard_docs(shards: &[(String, Json)]) -> Result<Json, SweepError> {
             .and_then(Json::as_u64)
             .ok_or_else(|| merge_err(path, "missing shard.index".to_string()))?
             as usize;
+        if index >= covered.len() {
+            return Err(merge_err(
+                path,
+                format!("shard.index {index} out of range for {shard_count} shards"),
+            ));
+        }
         if let Some(earlier) = covered[index] {
             return Err(merge_err(
                 path,

@@ -40,6 +40,7 @@ impl L2Spec {
 /// # Errors
 ///
 /// A human-readable message naming what is wrong with the spec.
+// analyze: total — m and w are byte offsets from find() on this same ASCII spec string with m < w enforced, so both cuts are in-range char boundaries
 pub fn parse_l2_spec(spec: &str) -> Result<(u64, u32), String> {
     let spec = spec.trim();
     let m = spec.find(['M', 'm']).ok_or_else(|| format!("bad L2 spec '{spec}': missing M"))?;

@@ -73,6 +73,7 @@ fn strip_comment(raw: &str) -> &str {
     for (i, b) in raw.bytes().enumerate() {
         match b {
             b'"' => in_str = !in_str,
+            // analyze: total — i is an enumerate() byte position over raw itself and '#' is a one-byte character, so the cut is an in-range char boundary
             b'#' if !in_str => return &raw[..i],
             _ => {}
         }
@@ -109,6 +110,7 @@ fn value_of(text: &str, line: usize) -> Result<TomlValue, SweepError> {
 }
 
 /// Splits a list body on commas that sit outside string quotes.
+// analyze: total — start trails the enumerate cursor: it is only ever reset to i+1 at a top-level comma at byte position i, so start <= inner.len() and cuts land on ASCII boundaries
 fn split_list(inner: &str, line: usize) -> Result<Vec<&str>, SweepError> {
     let mut parts = Vec::new();
     let mut start = 0;

@@ -117,6 +117,7 @@ fn stripe_index() -> usize {
 #[inline]
 pub fn set_region(region: Region) {
     // analyze: publish — per-thread region stripe; the sampler tolerates stale reads by design and the stripe is never read back for control flow
+    // analyze: total — stripe_index masks the stripe counter with STRIPES - 1, and SLOTS holds STRIPES entries
     SLOTS[stripe_index()].0.store(region as u8, Ordering::Relaxed);
 }
 
@@ -126,6 +127,7 @@ pub fn set_region(region: Region) {
 // analyze: hot
 #[inline]
 pub fn current_region() -> Region {
+    // analyze: total — stripe_index masks the stripe counter with STRIPES - 1, and SLOTS holds STRIPES entries
     Region::from_u8(SLOTS[stripe_index()].0.load(Ordering::Relaxed))
 }
 

@@ -38,6 +38,7 @@ pub trait ReferenceStream {
     // analyze: hot
     #[inline]
     fn next_burst(&mut self, out: &mut [u64]) -> usize {
+        // analyze: total — the trait contract requires a non-empty out buffer (documented panic); engine call sites pass BURST_COLS-sized columns
         out[0] = self.next_ref().pack();
         1
     }
@@ -99,6 +100,7 @@ impl SliceStream {
 
 impl ReferenceStream for SliceStream {
     fn next_ref(&mut self) -> MemRef {
+        // analyze: total — pos wraps modulo refs.len() after every draw and cycle() rejects an empty slice
         let r = self.refs[self.pos];
         self.pos = (self.pos + 1) % self.refs.len();
         r
@@ -186,6 +188,7 @@ impl<S: ReferenceStream> ReferenceStream for InterleavedStream<S> {
             self.current = (self.current + 1) % self.streams.len();
         }
         self.issued_in_quantum += 1;
+        // analyze: total — current wraps modulo streams.len() and new() rejects an empty stream set
         self.streams[self.current].next_ref()
     }
 }

@@ -65,6 +65,7 @@ impl SharedOltpState {
     fn pop_dirty_into(&self, out: &mut [Addr]) -> usize {
         let mut q = self.recent_dirty.lock().unwrap_or_else(|e| e.into_inner());
         let take = out.len().min(q.len());
+        // analyze: total — take = out.len().min(q.len()) bounds the slice by out's own length
         for (slot, addr) in out[..take].iter_mut().zip(q.drain(..take)) {
             *slot = addr;
         }
@@ -166,6 +167,7 @@ struct RecentLines {
 impl RecentLines {
     /// Records an address in the ring (fixed storage, indexed write).
     fn note(&mut self, addr: Addr) {
+        // analyze: total — pos wraps modulo lines.len() after every write
         self.lines[self.pos] = addr;
         self.pos = (self.pos + 1) % self.lines.len();
         self.len = (self.len + 1).min(self.lines.len());
@@ -177,6 +179,7 @@ impl RecentLines {
             // `len` saturates at 4, so in steady state the reduction is a
             // mask instead of a hardware divide; `idx & 3 == idx % 4`.
             4 => Some(self.lines[idx & 3]),
+            // analyze: total — len saturates at lines.len(), so idx % len stays inside the ring
             len => Some(self.lines[idx % len]),
         }
     }
@@ -406,6 +409,7 @@ impl NodeWorkload {
     // analyze: hot
     #[inline]
     fn emit(&mut self, word: u64) {
+        // analyze: total — each refill emits at most the buffer's capacity (the burst recipes are sized for it), so buf_len stays below buf.len() until the reset
         self.buf[self.buf_len] = word;
         self.buf_len += 1;
     }
@@ -469,6 +473,7 @@ impl NodeWorkload {
         self.store_cursor(kernel, server, cursor);
     }
 
+    // analyze: total — server ids other than the daemon sentinel are the round-robin cursor reduced modulo servers.len()
     fn cursor_for(&self, kernel: bool, server: u16) -> CodeCursor {
         if server == u16::MAX {
             if kernel {
@@ -483,6 +488,7 @@ impl NodeWorkload {
         }
     }
 
+    // analyze: total — server ids other than the daemon sentinel are the round-robin cursor reduced modulo servers.len()
     fn store_cursor(&mut self, kernel: bool, server: u16, cursor: CodeCursor) {
         if server == u16::MAX {
             if kernel {
@@ -499,6 +505,7 @@ impl NodeWorkload {
 
     /// Picks the target of a background data reference, preferring a
     /// recently used line with probability `bg_reuse`.
+    // analyze: total — server_idx is a modulo-reduced server id and the per-server home arrays (h_kstack, h_pga, h_work) hold one region per server
     fn background_target(&mut self, kernel: bool, server: u16, write: bool) -> Addr {
         if self.rng.next_u64() >> 11 < self.t_reuse {
             let idx = self.rng.gen_range_usize(0..4);
@@ -521,6 +528,7 @@ impl NodeWorkload {
     }
 
     /// Picks a fresh background target from the mode's region mix.
+    // analyze: total — server_idx is a modulo-reduced server id and the per-server home arrays (h_kstack, h_pga, h_work) hold one region per server
     fn fresh_background_target(&mut self, kernel: bool, server: u16, write: bool) -> Addr {
         let server_idx = if server == u16::MAX { 0 } else { server };
         if kernel {
@@ -586,6 +594,7 @@ impl NodeWorkload {
         let teller = self.schema.pick_teller(&mut self.rng);
         let branch = self.schema.branch_of_teller(teller);
         let account = self.schema.pick_account(&mut self.rng, branch);
+        // analyze: total — server ids other than the daemon sentinel are the round-robin cursor reduced modulo servers.len()
         let srv = &mut self.servers[s as usize];
         srv.teller = teller;
         srv.branch = branch;
@@ -594,6 +603,7 @@ impl NodeWorkload {
     }
 
     /// Database burst: the TPC-B updates.
+    // analyze: total — server_idx is a modulo-reduced server id and the per-server home arrays (h_kstack, h_pga, h_work) hold one region per server
     fn burst_execute(&mut self, s: u16) {
         let (teller, branch, account) = {
             let srv = &self.servers[s as usize];
@@ -675,6 +685,7 @@ impl NodeWorkload {
         self.shared.pending_commits.fetch_add(1, Relaxed);
         self.shared.txns_completed.fetch_add(1, Relaxed);
         self.txns_local += 1;
+        // analyze: total — server ids other than the daemon sentinel are the round-robin cursor reduced modulo servers.len()
         self.servers[s as usize].phase = Phase::Pipe;
     }
 
@@ -728,6 +739,7 @@ impl NodeWorkload {
         }
         let mut victims = [0u64; DBWR_FLUSH_LINES];
         let flushed = self.shared.pop_dirty_into(&mut victims);
+        // analyze: total — flushed <= victims.len() by pop_dirty_into's contract (it writes at most out.len() entries)
         for &addr in &victims[..flushed] {
             self.emit_data(addr, false, ExecMode::User);
         }
@@ -782,6 +794,7 @@ impl NodeWorkload {
             return;
         }
         let s = self.cur_server as u16;
+        // analyze: total — server ids other than the daemon sentinel are the round-robin cursor reduced modulo servers.len()
         match self.servers[s as usize].phase {
             Phase::Pipe => self.burst_pipe(s),
             Phase::Execute => self.burst_execute(s),
@@ -799,6 +812,7 @@ impl ReferenceStream for NodeWorkload {
     fn next_ref(&mut self) -> MemRef {
         loop {
             if self.buf_head < self.buf_len {
+                // analyze: total — buf_head <= buf_len <= buf.len() is the burst-buffer invariant: refill resets both and each burst emits at most the buffer's capacity
                 let word = self.buf[self.buf_head];
                 self.buf_head += 1;
                 return MemRef::unpack(word);
@@ -827,6 +841,7 @@ impl ReferenceStream for NodeWorkload {
             self.refill();
         }
         let n = (self.buf_len - self.buf_head).min(out.len());
+        // analyze: total — buf_head <= buf_len <= buf.len() is the burst-buffer invariant: refill resets both and each burst emits at most the buffer's capacity
         out[..n].copy_from_slice(&self.buf[self.buf_head..self.buf_head + n]);
         self.buf_head += n;
         n

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // SMT fetch interleaving.
         let streams = OltpWorkload::build(OltpParams::default(), contexts)?;
         let merged = InterleavedStream::new(streams, 8);
-        let mut sim = Simulation::new(&cfg, vec![merged]);
+        let mut sim = Simulation::try_new(&cfg, vec![merged]).expect("one stream per core");
         sim.warm_up(refs / 2);
         let rep = sim.run(refs);
         t.row(vec![

@@ -489,7 +489,7 @@ fn run_sweep_cli(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         eprintln!(
             "checkpoint: {} point(s) restored, {} executed",
             outcome.resumed,
-            outcome.points.len() - outcome.resumed
+            outcome.points.len().saturating_sub(outcome.resumed)
         );
     }
     if let Some(timing) = &outcome.timing {
